@@ -1,0 +1,32 @@
+//! # orbit2-autograd
+//!
+//! Reverse-mode automatic differentiation over [`orbit2_tensor::Tensor`],
+//! replacing the role PyTorch autograd plays in the paper's stack.
+//!
+//! * [`tape`] — the per-graph gradient tape: [`Tape`], [`Var`] and the
+//!   elementwise / linear-algebra ops with their adjoints,
+//! * [`nn`] — fused neural-net ops (linear, layernorm, conv2d, bilinear
+//!   resize) whose backward passes call the hand-written kernels in
+//!   `orbit2-tensor`,
+//! * [`optim`] — SGD / Adam / AdamW over a named [`ParamStore`],
+//! * [`scaler`] — dynamic gradient scaling for emulated-BF16 training
+//!   (paper Sec. III-D),
+//! * [`params`] — named parameter storage with JSON checkpointing,
+//! * [`gradcheck`] — finite-difference gradient verification used across the
+//!   test suite.
+//!
+//! A [`Tape`] is deliberately `!Sync`: in the TILES trainer every tile
+//! (thread) builds its own tape, mirroring the paper's one-GPU-per-tile
+//! execution, and only gradients cross thread boundaries.
+
+pub mod gradcheck;
+pub mod nn;
+pub mod optim;
+pub mod params;
+pub mod scaler;
+pub mod tape;
+
+pub use optim::{Adam, AdamW, Optimizer, Sgd};
+pub use params::ParamStore;
+pub use scaler::GradScaler;
+pub use tape::{Gradients, Tape, Var};

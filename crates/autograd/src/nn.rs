@@ -1,0 +1,370 @@
+//! Fused neural-network ops with hand-written adjoints: linear layers,
+//! layer normalization, 2-d convolution, bilinear resize and token pooling.
+
+use crate::tape::{Tape, Var};
+use orbit2_tensor::conv::{conv2d, conv2d_grad_bias, conv2d_grad_input, conv2d_grad_weight, ConvGeom};
+use orbit2_tensor::resize::{resize, ResizeMode};
+use orbit2_tensor::Tensor;
+
+impl<'t> Var<'t> {
+    /// Affine map `self [N, I] @ weight^T [I, O] + bias [O]`.
+    ///
+    /// Weight layout is `[O, I]` (PyTorch convention).
+    pub fn linear(&self, weight: Var<'t>, bias: Option<Var<'t>>) -> Var<'t> {
+        let y = self.matmul(weight.transpose2());
+        match bias {
+            Some(b) => y.add(b),
+            None => y,
+        }
+    }
+
+    /// Layer normalization over the last axis with affine parameters.
+    ///
+    /// `gamma`/`beta` have the shape of the last axis.
+    pub fn layer_norm(&self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        let v = self.value();
+        let last = v.ndim() - 1;
+        let d = v.shape()[last];
+        let rows = v.len() / d;
+
+        // Forward: normalize each row.
+        let mut norm = vec![0.0f32; v.len()];
+        let mut inv_std = vec![0.0f32; rows];
+        let src = v.data();
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            inv_std[r] = is;
+            for (o, &x) in norm[r * d..(r + 1) * d].iter_mut().zip(row) {
+                *o = (x - mean) * is;
+            }
+        }
+        let norm_t = Tensor::from_vec(v.shape().to_vec(), norm);
+        let norm_c = norm_t.clone();
+
+        // Record the normalization as a custom op, then the affine part with
+        // ordinary tape ops (so gamma/beta grads come for free).
+        let pid = self_id(self);
+        let shape = v.shape().to_vec();
+        let normalized = self.tape().record_custom(
+            norm_t,
+            self_tracked(self),
+            Box::new(move |g| {
+                // d/dx of x_hat: (g - mean(g) - x_hat * mean(g * x_hat)) * inv_std
+                let gd = g.data();
+                let nd = norm_c.data();
+                let mut out = vec![0.0f32; gd.len()];
+                for r in 0..rows {
+                    let gs = &gd[r * d..(r + 1) * d];
+                    let ns = &nd[r * d..(r + 1) * d];
+                    let mg: f32 = gs.iter().sum::<f32>() / d as f32;
+                    let mgx: f32 = gs.iter().zip(ns).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+                    for ((o, &gv), &nv) in out[r * d..(r + 1) * d].iter_mut().zip(gs).zip(ns) {
+                        *o = (gv - mg - nv * mgx) * inv_std[r];
+                    }
+                }
+                vec![(pid, Tensor::from_vec(shape.clone(), out))]
+            }),
+        );
+        normalized.mul(gamma).add(beta)
+    }
+
+    /// 2-d convolution: `self [N,C,H,W] * weight [O,C,KH,KW] (+ bias [O])`.
+    pub fn conv2d(&self, weight: Var<'t>, bias: Option<Var<'t>>, geom: ConvGeom) -> Var<'t> {
+        let x = self.value();
+        let w = weight.value();
+        let bt = bias.map(|b| b.value());
+        let y = conv2d(&x, &w, bt.as_ref(), geom);
+        let (xid, wid) = (self_id(self), self_id(&weight));
+        let bid = bias.as_ref().map(self_id);
+        let x_shape = x.shape().to_vec();
+        let w_shape = w.shape().to_vec();
+        let tracked = self_tracked(self) || self_tracked(&weight) || bias.map(|b| self_tracked(&b)).unwrap_or(false);
+        self.tape().record_custom(
+            y,
+            tracked,
+            Box::new(move |g| {
+                let mut grads = vec![
+                    (xid, conv2d_grad_input(g, &w, &x_shape, geom)),
+                    (wid, conv2d_grad_weight(g, &x, &w_shape, geom)),
+                ];
+                if let Some(bid) = bid {
+                    grads.push((bid, conv2d_grad_bias(g)));
+                }
+                grads
+            }),
+        )
+    }
+
+    /// Bilinear resize of the trailing two axes to `(out_h, out_w)`.
+    pub fn resize_bilinear(&self, out_h: usize, out_w: usize) -> Var<'t> {
+        let x = self.value();
+        let nd = x.ndim();
+        let (in_h, in_w) = (x.shape()[nd - 2], x.shape()[nd - 1]);
+        let y = resize(&x, out_h, out_w, ResizeMode::Bilinear);
+        let pid = self_id(self);
+        self.tape().record_custom(
+            y,
+            self_tracked(self),
+            Box::new(move |g| vec![(pid, bilinear_adjoint(g, in_h, in_w))]),
+        )
+    }
+
+    /// Pool rows of a 2-d var into groups by averaging: `out[i] = mean of
+    /// self[j] for j in groups[i]`. The decompression adjoint scatters the
+    /// gradient back uniformly. This is the quad-tree token pooling of
+    /// Reslim's adaptive spatial compression.
+    pub fn pool_rows(&self, groups: Vec<Vec<usize>>) -> Var<'t> {
+        let v = self.value();
+        assert_eq!(v.ndim(), 2, "pool_rows requires 2-d [tokens, dim]");
+        let (rows, cols) = (v.shape()[0], v.shape()[1]);
+        let mut out = vec![0.0f32; groups.len() * cols];
+        let src = v.data();
+        for (gi, group) in groups.iter().enumerate() {
+            assert!(!group.is_empty(), "empty pooling group {gi}");
+            let inv = 1.0 / group.len() as f32;
+            let dst = &mut out[gi * cols..(gi + 1) * cols];
+            for &r in group {
+                assert!(r < rows, "pool index {r} out of bounds");
+                for (d, &x) in dst.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
+                    *d += x * inv;
+                }
+            }
+        }
+        let y = Tensor::from_vec(vec![groups.len(), cols], out);
+        let pid = self_id(self);
+        self.tape().record_custom(
+            y,
+            self_tracked(self),
+            Box::new(move |g| {
+                let gd = g.data();
+                let mut out = vec![0.0f32; rows * cols];
+                for (gi, group) in groups.iter().enumerate() {
+                    let inv = 1.0 / group.len() as f32;
+                    let gs = &gd[gi * cols..(gi + 1) * cols];
+                    for &r in group {
+                        for (d, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(gs) {
+                            *d += x * inv;
+                        }
+                    }
+                }
+                vec![(pid, Tensor::from_vec(vec![rows, cols], out))]
+            }),
+        )
+    }
+
+    /// Unpool grouped rows back to the original token set: `out[j] =
+    /// self[i]` for every `j in groups[i]` (the inverse scatter of
+    /// [`Var::pool_rows`], used by the decompression stage).
+    pub fn unpool_rows(&self, groups: Vec<Vec<usize>>, total_rows: usize) -> Var<'t> {
+        let v = self.value();
+        assert_eq!(v.ndim(), 2);
+        assert_eq!(v.shape()[0], groups.len());
+        let cols = v.shape()[1];
+        let mut out = vec![0.0f32; total_rows * cols];
+        let src = v.data();
+        for (gi, group) in groups.iter().enumerate() {
+            let s = &src[gi * cols..(gi + 1) * cols];
+            for &r in group {
+                assert!(r < total_rows);
+                out[r * cols..(r + 1) * cols].copy_from_slice(s);
+            }
+        }
+        let y = Tensor::from_vec(vec![total_rows, cols], out);
+        let pid = self_id(self);
+        let n_groups = groups.len();
+        self.tape().record_custom(
+            y,
+            self_tracked(self),
+            Box::new(move |g| {
+                let gd = g.data();
+                let mut out = vec![0.0f32; n_groups * cols];
+                for (gi, group) in groups.iter().enumerate() {
+                    let dst = &mut out[gi * cols..(gi + 1) * cols];
+                    for &r in group {
+                        for (d, &x) in dst.iter_mut().zip(&gd[r * cols..(r + 1) * cols]) {
+                            *d += x;
+                        }
+                    }
+                }
+                vec![(pid, Tensor::from_vec(vec![n_groups, cols], out))]
+            }),
+        )
+    }
+}
+
+/// Adjoint of bilinear interpolation with half-pixel centers: distributes
+/// each output gradient onto its four source pixels with the interpolation
+/// weights.
+pub fn bilinear_adjoint(grad_out: &Tensor, in_h: usize, in_w: usize) -> Tensor {
+    let nd = grad_out.ndim();
+    let (oh, ow) = (grad_out.shape()[nd - 2], grad_out.shape()[nd - 1]);
+    let lead: usize = grad_out.shape()[..nd - 2].iter().product();
+    let sy = in_h as f32 / oh as f32;
+    let sx = in_w as f32 / ow as f32;
+    let god = grad_out.data();
+    let mut out = vec![0.0f32; lead * in_h * in_w];
+    for l in 0..lead {
+        let gplane = &god[l * oh * ow..(l + 1) * oh * ow];
+        let oplane = &mut out[l * in_h * in_w..(l + 1) * in_h * in_w];
+        for oy in 0..oh {
+            let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (in_h - 1) as f32);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(in_h - 1);
+            let wy = fy - y0 as f32;
+            for ox in 0..ow {
+                let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (in_w - 1) as f32);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(in_w - 1);
+                let wx = fx - x0 as f32;
+                let g = gplane[oy * ow + ox];
+                oplane[y0 * in_w + x0] += g * (1.0 - wy) * (1.0 - wx);
+                oplane[y0 * in_w + x1] += g * (1.0 - wy) * wx;
+                oplane[y1 * in_w + x0] += g * wy * (1.0 - wx);
+                oplane[y1 * in_w + x1] += g * wy * wx;
+            }
+        }
+    }
+    let mut shape = grad_out.shape().to_vec();
+    shape[nd - 2] = in_h;
+    shape[nd - 1] = in_w;
+    Tensor::from_vec(shape, out)
+}
+
+// Internal accessors used by the fused ops above. Kept crate-private via a
+// sealed extension on Tape.
+use crate::tape::tape_internals::{self, self_id, self_tracked};
+
+/// Boxed adjoint of a custom op: maps the incoming gradient to
+/// (parent id, contribution) pairs.
+pub(crate) type CustomBackward = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+impl Tape {
+    pub(crate) fn record_custom(
+        &self,
+        value: Tensor,
+        tracked: bool,
+        backward: CustomBackward,
+    ) -> Var<'_> {
+        tape_internals::record(self, value, tracked, backward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use crate::tape::Tape;
+    use orbit2_tensor::random::randn;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]));
+        let w = tape.leaf(Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 1.]));
+        let b = tape.leaf(Tensor::from_vec(vec![3], vec![0.5, -0.5, 0.0]));
+        let y = x.linear(w, Some(b));
+        assert_eq!(y.value().data(), &[1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn linear_grads_match_fd() {
+        check_gradients(
+            &[vec![4, 3], vec![2, 3], vec![2]],
+            |_t, v| v[0].linear(v[1], Some(v[2])).square().sum(),
+            1e-2,
+            21,
+        );
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized() {
+        let tape = Tape::new();
+        let x = tape.leaf(randn(&[4, 8], 5).mul_scalar(3.0).add_scalar(7.0));
+        let g = tape.leaf(Tensor::ones(vec![8]));
+        let b = tape.leaf(Tensor::zeros(vec![8]));
+        let y = x.layer_norm(g, b, 1e-5).value();
+        for r in 0..4 {
+            let row = &y.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_grads_match_fd() {
+        check_gradients(
+            &[vec![3, 5], vec![5], vec![5]],
+            |_t, v| v[0].layer_norm(v[1], v[2], 1e-5).square().sum(),
+            2e-2,
+            23,
+        );
+    }
+
+    #[test]
+    fn conv2d_grads_match_fd() {
+        let geom = ConvGeom::same(3);
+        check_gradients(
+            &[vec![1, 2, 5, 5], vec![3, 2, 3, 3], vec![3]],
+            move |_t, v| {
+                let x = v[0];
+                x.conv2d(v[1], Some(v[2]), geom).square().sum()
+            },
+            3e-2,
+            25,
+        );
+    }
+
+    #[test]
+    fn resize_bilinear_grads_match_fd() {
+        check_gradients(
+            &[vec![1, 4, 4]],
+            |_t, v| v[0].resize_bilinear(8, 8).square().sum(),
+            2e-2,
+            27,
+        );
+    }
+
+    #[test]
+    fn resize_adjoint_preserves_total_gradient() {
+        // The adjoint of an interpolation whose weights sum to 1 per output
+        // pixel conserves the total gradient mass.
+        let g = Tensor::ones(vec![1, 8, 8]);
+        let adj = bilinear_adjoint(&g, 4, 4);
+        assert!((adj.sum() - 64.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pool_unpool_grads_match_fd() {
+        let groups = vec![vec![0, 1], vec![2], vec![3, 4, 5]];
+        check_gradients(
+            &[vec![6, 3]],
+            move |_t, v| {
+                let pooled = v[0].pool_rows(groups.clone());
+                pooled.unpool_rows(groups.clone(), 6).square().sum()
+            },
+            1e-2,
+            29,
+        );
+    }
+
+    #[test]
+    fn pool_rows_averages() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![4, 1], vec![1.0, 3.0, 10.0, 20.0]));
+        let y = x.pool_rows(vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(y.value().data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn unpool_broadcasts_group_value() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2, 1], vec![5.0, 9.0]));
+        let y = x.unpool_rows(vec![vec![0, 2], vec![1]], 3);
+        assert_eq!(y.value().data(), &[5.0, 9.0, 5.0]);
+    }
+}

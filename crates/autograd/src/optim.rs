@@ -1,0 +1,265 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::params::{GradMap, ParamStore};
+use orbit2_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Common optimizer interface: apply one update step from a gradient map.
+pub trait Optimizer {
+    /// Update `params` in place using `grads` (missing keys are skipped).
+    fn step(&mut self, params: &mut ParamStore, grads: &GradMap);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Override the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: BTreeMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and momentum coefficient `momentum`
+    /// (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: BTreeMap::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradMap) {
+        for (name, value) in params.iter_mut() {
+            let Some(g) = grads.get(name) else { continue };
+            assert_eq!(g.shape(), value.shape(), "gradient shape mismatch for {name}");
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(name.clone())
+                    .or_insert_with(|| Tensor::zeros(value.shape().to_vec()));
+                *v = v.mul_scalar(self.momentum).add(g);
+                let vd = v.data();
+                for (p, &gv) in value.data_mut().iter_mut().zip(vd) {
+                    *p -= self.lr * gv;
+                }
+            } else {
+                for (p, &gv) in value.data_mut().iter_mut().zip(g.data()) {
+                    *p -= self.lr * gv;
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction. Moments are kept in full f32
+/// precision even when the model trains in emulated BF16, mirroring
+/// mixed-precision master weights.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Decoupled weight decay (AdamW) coefficient; 0 for plain Adam.
+    weight_decay: f32,
+    t: u64,
+    m: BTreeMap<String, Tensor>,
+    v: BTreeMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Standard Adam with the usual defaults.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
+        }
+    }
+
+    /// Set the exponential-decay coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Enable decoupled weight decay (turning this into AdamW).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// AdamW = Adam with decoupled weight decay.
+pub type AdamW = Adam;
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradMap) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (name, value) in params.iter_mut() {
+            let Some(g) = grads.get(name) else { continue };
+            assert_eq!(g.shape(), value.shape(), "gradient shape mismatch for {name}");
+            let m = self
+                .m
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(value.shape().to_vec()));
+            let v = self
+                .v
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(value.shape().to_vec()));
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let pd = value.data_mut();
+            for i in 0..gd.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gd[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gd[i] * gd[i];
+                let mhat = md[i] / bc1;
+                let vhat = vd[i] / bc2;
+                let mut update = mhat / (vhat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    update += self.weight_decay * pd[i];
+                }
+                pd[i] -= self.lr * update;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Cosine learning-rate schedule with linear warmup, as used for the
+/// pretraining runs.
+pub fn cosine_schedule(step: u64, warmup: u64, total: u64, base_lr: f32, min_lr: f32) -> f32 {
+    if warmup > 0 && step < warmup {
+        return base_lr * (step + 1) as f32 / warmup as f32;
+    }
+    if step >= total {
+        return min_lr;
+    }
+    let progress = (step - warmup) as f32 / (total - warmup).max(1) as f32;
+    min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &ParamStore) -> GradMap {
+        // loss = 0.5 * ||x - 3||^2, grad = x - 3
+        let mut g = GradMap::new();
+        g.insert("x".into(), p.get("x").add_scalar(-3.0));
+        g
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = ParamStore::new();
+        p.insert("x", Tensor::from_vec(vec![2], vec![0.0, 10.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        for &x in p.get("x").data() {
+            assert!((x - 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let mut p = ParamStore::new();
+            p.insert("x", Tensor::from_vec(vec![1], vec![10.0]));
+            let mut opt = Sgd::new(0.01, mom);
+            for _ in 0..50 {
+                let g = quadratic_grad(&p);
+                opt.step(&mut p, &g);
+            }
+            (p.get("x").data()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = ParamStore::new();
+        p.insert("x", Tensor::from_vec(vec![3], vec![-5.0, 0.0, 20.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        for &x in p.get("x").data() {
+            assert!((x - 3.0).abs() < 5e-2, "{x}");
+        }
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adamw_decays_unused_weights() {
+        // With zero gradient, AdamW still shrinks parameters; Adam does not.
+        let mut p = ParamStore::new();
+        p.insert("x", Tensor::from_vec(vec![1], vec![1.0]));
+        let mut g = GradMap::new();
+        g.insert("x".into(), Tensor::zeros(vec![1]));
+        let mut opt = Adam::new(0.1).with_weight_decay(0.01);
+        for _ in 0..10 {
+            opt.step(&mut p, &g);
+        }
+        assert!(p.get("x").data()[0] < 1.0);
+    }
+
+    #[test]
+    fn missing_grads_are_skipped() {
+        let mut p = ParamStore::new();
+        p.insert("frozen", Tensor::from_vec(vec![1], vec![7.0]));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut p, &GradMap::new());
+        assert_eq!(p.get("frozen").data()[0], 7.0);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let base = 1e-3;
+        // Warmup ramps linearly.
+        assert!(cosine_schedule(0, 10, 100, base, 0.0) < cosine_schedule(9, 10, 100, base, 0.0));
+        // Peak at end of warmup.
+        assert!((cosine_schedule(10, 10, 100, base, 0.0) - base).abs() < 1e-9);
+        // Decays monotonically after warmup.
+        assert!(cosine_schedule(50, 10, 100, base, 0.0) > cosine_schedule(90, 10, 100, base, 0.0));
+        // Floors at min_lr.
+        assert_eq!(cosine_schedule(1000, 10, 100, base, 1e-5), 1e-5);
+    }
+}

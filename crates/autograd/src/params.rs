@@ -1,0 +1,186 @@
+//! Named parameter storage with JSON checkpointing.
+//!
+//! A model owns a [`ParamStore`]; the trainer registers each parameter on a
+//! fresh [`crate::Tape`] per step, and optimizers update the store in place
+//! from a name→gradient map. `BTreeMap` keeps iteration order deterministic
+//! (gradient averaging across tiles must be order-stable).
+
+use orbit2_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A named collection of trainable tensors.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    entries: BTreeMap<String, Tensor>,
+}
+
+/// Serializable snapshot of a parameter store.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    params: BTreeMap<String, (Vec<usize>, Vec<f32>)>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a parameter.
+    pub fn insert(&mut self, name: impl Into<String>, value: Tensor) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Get a parameter by name.
+    pub fn get(&self, name: &str) -> &Tensor {
+        self.entries
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    /// Mutable access to a parameter by name.
+    pub fn get_mut(&mut self, name: &str) -> &mut Tensor {
+        self.entries
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    /// Whether a parameter exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Iterate `(name, tensor)` in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.entries.iter()
+    }
+
+    /// Iterate mutably in deterministic order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Tensor)> {
+        self.entries.iter_mut()
+    }
+
+    /// Names in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total scalar element count across all parameters (the "model size").
+    pub fn num_elements(&self) -> usize {
+        self.entries.values().map(|t| t.len()).sum()
+    }
+
+    /// Save to a JSON checkpoint.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let snap = Snapshot {
+            params: self
+                .entries
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.shape().to_vec(), v.data().to_vec())))
+                .collect(),
+        };
+        let json = serde_json::to_string(&snap).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from a JSON checkpoint.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let snap: Snapshot = serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let mut store = Self::new();
+        for (name, (shape, data)) in snap.params {
+            store.insert(name, Tensor::from_vec(shape, data));
+        }
+        Ok(store)
+    }
+}
+
+/// A name→gradient map as produced by a backward pass over a model.
+pub type GradMap = BTreeMap<String, Tensor>;
+
+/// Average several gradient maps elementwise (the TILES once-per-batch
+/// gradient all-reduce). All maps must share the same keys and shapes.
+pub fn average_grad_maps(maps: &[GradMap]) -> GradMap {
+    assert!(!maps.is_empty(), "no gradient maps to average");
+    let inv = 1.0 / maps.len() as f32;
+    let mut out = GradMap::new();
+    for key in maps[0].keys() {
+        let mut acc = maps[0][key].clone();
+        for m in &maps[1..] {
+            let g = m
+                .get(key)
+                .unwrap_or_else(|| panic!("gradient map missing key {key}"));
+            acc = acc.add(g);
+        }
+        out.insert(key.clone(), acc.mul_scalar(inv));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_counts() {
+        let mut p = ParamStore::new();
+        p.insert("w", Tensor::zeros(vec![2, 3]));
+        p.insert("b", Tensor::zeros(vec![3]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_elements(), 9);
+        assert_eq!(p.get("w").shape(), &[2, 3]);
+        assert!(p.contains("b"));
+        assert!(!p.contains("x"));
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let mut p = ParamStore::new();
+        p.insert("z", Tensor::zeros(vec![1]));
+        p.insert("a", Tensor::zeros(vec![1]));
+        p.insert("m", Tensor::zeros(vec![1]));
+        let names: Vec<&String> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("orbit2_params_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut p = ParamStore::new();
+        p.insert("w", Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        p.save(&path).unwrap();
+        let q = ParamStore::load(&path).unwrap();
+        assert_eq!(q.get("w").data(), &[1., 2., 3., 4.]);
+        assert_eq!(q.get("w").shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn grad_map_averaging() {
+        let mut a = GradMap::new();
+        a.insert("w".into(), Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        let mut b = GradMap::new();
+        b.insert("w".into(), Tensor::from_vec(vec![2], vec![3.0, 6.0]));
+        let avg = average_grad_maps(&[a, b]);
+        assert_eq!(avg["w"].data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn missing_param_panics() {
+        ParamStore::new().get("nope");
+    }
+}

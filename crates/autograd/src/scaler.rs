@@ -1,0 +1,144 @@
+//! Dynamic gradient scaling for emulated-BF16 mixed precision.
+//!
+//! The paper applies PyTorch's dynamic gradient scaling to keep BF16
+//! gradients inside the representable range (Sec. III-D): the loss is
+//! multiplied by a scale before backward; gradients are unscaled before the
+//! optimizer step; if any gradient is non-finite the step is skipped and the
+//! scale halves, otherwise the scale doubles every `growth_interval` good
+//! steps.
+
+use crate::params::GradMap;
+
+/// Dynamic loss/gradient scaler.
+#[derive(Debug, Clone)]
+pub struct GradScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    /// Count of steps skipped due to non-finite gradients.
+    pub skipped_steps: u64,
+}
+
+impl Default for GradScaler {
+    fn default() -> Self {
+        Self::new(65536.0)
+    }
+}
+
+impl GradScaler {
+    /// Create a scaler with the given initial scale.
+    pub fn new(init_scale: f32) -> Self {
+        Self {
+            scale: init_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            good_steps: 0,
+            skipped_steps: 0,
+        }
+    }
+
+    /// Set how many consecutive good steps double the scale.
+    pub fn with_growth_interval(mut self, interval: u32) -> Self {
+        self.growth_interval = interval;
+        self
+    }
+
+    /// Current loss scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Multiply a loss value by the current scale (before backward).
+    pub fn scale_loss(&self, loss: f32) -> f32 {
+        loss * self.scale
+    }
+
+    /// Unscale gradients in place and report whether they are all finite.
+    ///
+    /// When `false` is returned the step must be skipped (the scaler has
+    /// already backed off its scale).
+    pub fn unscale_and_check(&mut self, grads: &mut GradMap) -> bool {
+        let inv = 1.0 / self.scale;
+        let mut finite = true;
+        for g in grads.values_mut() {
+            for x in g.data_mut() {
+                *x *= inv;
+                if !x.is_finite() {
+                    finite = false;
+                }
+            }
+        }
+        if finite {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.good_steps = 0;
+            }
+        } else {
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.good_steps = 0;
+            self.skipped_steps += 1;
+        }
+        finite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit2_tensor::Tensor;
+
+    fn grads_with(values: Vec<f32>) -> GradMap {
+        let mut g = GradMap::new();
+        let n = values.len();
+        g.insert("w".into(), Tensor::from_vec(vec![n], values));
+        g
+    }
+
+    #[test]
+    fn unscale_divides_by_scale() {
+        let mut s = GradScaler::new(4.0);
+        let mut g = grads_with(vec![8.0, -2.0]);
+        assert!(s.unscale_and_check(&mut g));
+        assert_eq!(g["w"].data(), &[2.0, -0.5]);
+    }
+
+    #[test]
+    fn non_finite_backs_off_and_skips() {
+        let mut s = GradScaler::new(1024.0);
+        let mut g = grads_with(vec![f32::INFINITY, 1.0]);
+        assert!(!s.unscale_and_check(&mut g));
+        assert_eq!(s.scale(), 512.0);
+        assert_eq!(s.skipped_steps, 1);
+        let mut g = grads_with(vec![f32::NAN]);
+        assert!(!s.unscale_and_check(&mut g));
+        assert_eq!(s.scale(), 256.0);
+    }
+
+    #[test]
+    fn growth_after_interval() {
+        let mut s = GradScaler::new(2.0).with_growth_interval(3);
+        for _ in 0..3 {
+            let mut g = grads_with(vec![1.0]);
+            assert!(s.unscale_and_check(&mut g));
+        }
+        assert_eq!(s.scale(), 4.0);
+    }
+
+    #[test]
+    fn scale_floors_at_one() {
+        let mut s = GradScaler::new(1.0);
+        let mut g = grads_with(vec![f32::NAN]);
+        s.unscale_and_check(&mut g);
+        assert!(s.scale() >= 1.0);
+    }
+
+    #[test]
+    fn scale_loss_multiplies() {
+        let s = GradScaler::new(8.0);
+        assert_eq!(s.scale_loss(0.5), 4.0);
+    }
+}

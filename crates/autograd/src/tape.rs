@@ -1,0 +1,621 @@
+//! The gradient tape: a growing list of nodes whose index order is already a
+//! topological order (a node is always appended after its parents), so the
+//! backward pass is a single reverse sweep.
+
+use orbit2_tensor::ops::{gelu_grad_scalar, gelu_scalar};
+use orbit2_tensor::Tensor;
+use std::cell::RefCell;
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    /// Maps the gradient flowing into this node to (parent, contribution)
+    /// pairs. `None` for leaves and constants.
+    backward: Option<BackwardFn>,
+    /// Whether gradients should flow *through* this node at all.
+    tracked: bool,
+}
+
+/// A reverse-mode gradient tape. One tape per forward/backward graph.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// A value recorded on a [`Tape`]. Cheap to copy (an index + a reference).
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss w.r.t. `var`, if any flowed to it.
+    pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// The gradient, or a zero tensor of the var's shape when none flowed.
+    pub fn get_or_zero(&self, var: Var<'_>) -> Tensor {
+        match self.get(var) {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(var.shape()),
+        }
+    }
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Record a differentiable leaf (e.g. a model parameter).
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(Node { value, backward: None, tracked: true })
+    }
+
+    /// Record a constant input: gradients stop here.
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.push(Node { value, backward: None, tracked: false })
+    }
+
+    fn push(&self, node: Node) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        Var { tape: self, id: nodes.len() - 1 }
+    }
+
+    fn value_of(&self, id: usize) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    fn record(&self, value: Tensor, parents_tracked: bool, backward: BackwardFn) -> Var<'_> {
+        if parents_tracked {
+            self.push(Node { value, backward: Some(backward), tracked: true })
+        } else {
+            self.push(Node { value, backward: None, tracked: false })
+        }
+    }
+
+    /// Reverse sweep from `loss` (which must be scalar-valued) computing
+    /// gradients for every tracked node.
+    pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        assert!(std::ptr::eq(loss.tape, self), "loss from a different tape");
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[loss.id].value.len(), 1, "backward requires a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape().to_vec()));
+        for id in (0..=loss.id).rev() {
+            let Some(grad) = grads[id].take() else { continue };
+            if let Some(back) = &nodes[id].backward {
+                for (pid, contrib) in back(&grad) {
+                    if !nodes[pid].tracked {
+                        continue;
+                    }
+                    match &mut grads[pid] {
+                        Some(acc) => *acc = acc.add(&contrib),
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            grads[id] = Some(grad);
+        }
+        Gradients { grads }
+    }
+}
+
+/// Sum `grad` down to `target` shape, undoing broadcasting (the adjoint of a
+/// broadcast): extra leading axes are summed away and size-1 axes are summed
+/// with keep-dim.
+pub fn reduce_to_shape(grad: &Tensor, target: &[usize]) -> Tensor {
+    let mut g = grad.clone();
+    while g.ndim() > target.len() {
+        g = g.sum_axis(0);
+    }
+    for axis in 0..target.len() {
+        if target[axis] == 1 && g.shape()[axis] != 1 {
+            let mut shape = g.shape().to_vec();
+            shape[axis] = 1;
+            g = g.sum_axis(axis).into_reshape(shape);
+        }
+    }
+    assert_eq!(g.shape(), target, "reduce_to_shape failed: {:?} -> {:?}", grad.shape(), target);
+    g
+}
+
+/// Crate-internal access used by the fused ops in [`crate::nn`].
+pub(crate) mod tape_internals {
+    use super::{BackwardFn, Node, Tape, Var};
+    use orbit2_tensor::Tensor;
+
+    pub(crate) fn self_id(v: &Var<'_>) -> usize {
+        v.id
+    }
+
+    pub(crate) fn self_tracked(v: &Var<'_>) -> bool {
+        v.tracked()
+    }
+
+    pub(crate) fn record(tape: &Tape, value: Tensor, tracked: bool, backward: BackwardFn) -> Var<'_> {
+        if tracked {
+            tape.push(Node { value, backward: Some(backward), tracked: true })
+        } else {
+            tape.push(Node { value, backward: None, tracked: false })
+        }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The tape this var lives on.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Clone of the recorded value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// Shape of the recorded value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.shape().to_vec()
+    }
+
+    fn tracked(&self) -> bool {
+        self.tape.nodes.borrow()[self.id].tracked
+    }
+
+    fn unary(
+        &self,
+        value: Tensor,
+        back: impl Fn(&Tensor) -> Tensor + 'static,
+    ) -> Var<'t> {
+        let pid = self.id;
+        self.tape
+            .record(value, self.tracked(), Box::new(move |g| vec![(pid, back(g))]))
+    }
+
+    fn binary(
+        &self,
+        other: Var<'t>,
+        value: Tensor,
+        back: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var<'t> {
+        assert!(std::ptr::eq(self.tape, other.tape), "vars from different tapes");
+        let (a, b) = (self.id, other.id);
+        let tracked = self.tracked() || other.tracked();
+        self.tape.record(
+            value,
+            tracked,
+            Box::new(move |g| {
+                let (ga, gb) = back(g);
+                vec![(a, ga), (b, gb)]
+            }),
+        )
+    }
+
+    /// Elementwise addition (with broadcasting).
+    pub fn add(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.binary(other, av.add(&bv), move |g| {
+            (reduce_to_shape(g, &ash), reduce_to_shape(g, &bsh))
+        })
+    }
+
+    /// Elementwise subtraction (with broadcasting).
+    pub fn sub(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.binary(other, av.sub(&bv), move |g| {
+            (reduce_to_shape(g, &ash), reduce_to_shape(&g.neg(), &bsh))
+        })
+    }
+
+    /// Elementwise multiplication (with broadcasting).
+    pub fn mul(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.binary(other, av.mul(&bv), move |g| {
+            (reduce_to_shape(&g.mul(&bc), &ash), reduce_to_shape(&g.mul(&ac), &bsh))
+        })
+    }
+
+    /// Elementwise division (with broadcasting).
+    pub fn div(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.binary(other, av.div(&bv), move |g| {
+            let ga = reduce_to_shape(&g.div(&bc), &ash);
+            // d/db (a/b) = -a / b^2
+            let gb = reduce_to_shape(&g.mul(&ac).div(&bc.mul(&bc)).neg(), &bsh);
+            (ga, gb)
+        })
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&self, s: f32) -> Var<'t> {
+        self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+    }
+
+    /// Add a scalar constant.
+    pub fn shift(&self, s: f32) -> Var<'t> {
+        self.unary(self.value().add_scalar(s), |g| g.clone())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var<'t> {
+        self.scale(-1.0)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var<'t> {
+        let v = self.value();
+        let vc = v.clone();
+        self.unary(v.mul(&vc), move |g| g.mul(&vc).mul_scalar(2.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var<'t> {
+        let y = self.value().exp();
+        let yc = y.clone();
+        self.unary(y, move |g| g.mul(&yc))
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Var<'t> {
+        let v = self.value();
+        let vc = v.clone();
+        self.unary(v.ln(), move |g| g.div(&vc))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&self) -> Var<'t> {
+        let y = self.value().tanh();
+        let yc = y.clone();
+        self.unary(y, move |g| g.mul(&yc.map(|t| 1.0 - t * t)))
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> Var<'t> {
+        let v = self.value();
+        let mask = v.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        self.unary(v.relu(), move |g| g.mul(&mask))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&self) -> Var<'t> {
+        let v = self.value();
+        let dv = v.map(gelu_grad_scalar);
+        self.unary(v.map(gelu_scalar), move |g| g.mul(&dv))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var<'t> {
+        let y = self.value().sigmoid();
+        let yc = y.clone();
+        self.unary(y, move |g| g.mul(&yc.map(|s| s * (1.0 - s))))
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x)` — useful as a nonnegative
+    /// output head (e.g. precipitation).
+    pub fn softplus(&self) -> Var<'t> {
+        let v = self.value();
+        let y = v.map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                0.0
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        });
+        let d = v.sigmoid();
+        self.unary(y, move |g| g.mul(&d))
+    }
+
+    /// Smooth (Charbonnier) absolute value `sqrt(x^2 + eps^2)`; the
+    /// differentiable stand-in for the L1 norm in the total-variation prior.
+    pub fn smooth_abs(&self, eps: f32) -> Var<'t> {
+        let v = self.value();
+        let y = v.map(move |x| (x * x + eps * eps).sqrt());
+        let d = v.zip(&y, |x, s| x / s);
+        self.unary(y, move |g| g.mul(&d))
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var<'t> {
+        let shape = self.shape();
+        self.unary(Tensor::scalar(self.value().sum()), move |g| {
+            Tensor::full(shape.clone(), g.item())
+        })
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var<'t> {
+        let n = self.value().len() as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Reshape (gradient reshapes back).
+    pub fn reshape(&self, shape: Vec<usize>) -> Var<'t> {
+        let old = self.shape();
+        self.unary(self.value().into_reshape(shape), move |g| {
+            g.reshape(old.clone())
+        })
+    }
+
+    /// 2-d transpose.
+    pub fn transpose2(&self) -> Var<'t> {
+        self.unary(self.value().transpose2(), |g| g.transpose2())
+    }
+
+    /// Matrix multiplication of 2-d vars.
+    pub fn matmul(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let y = av.matmul(&bv);
+        self.binary(other, y, move |g| {
+            (g.matmul(&bv.transpose2()), av.transpose2().matmul(g))
+        })
+    }
+
+    /// Row-softmax along the last axis.
+    pub fn softmax_last(&self) -> Var<'t> {
+        let y = self.value().softmax_last();
+        let yc = y.clone();
+        self.unary(y, move |g| {
+            // ds = (g - sum(g * s, last, keepdim)) * s
+            let gs = g.mul(&yc);
+            let last = yc.ndim() - 1;
+            let mut keep = yc.shape().to_vec();
+            keep[last] = 1;
+            let dot = gs.sum_axis(last).into_reshape(keep);
+            g.sub(&dot).mul(&yc)
+        })
+    }
+
+    /// Slice along an axis (gradient zero-pads back).
+    pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Var<'t> {
+        let v = self.value();
+        let full = v.shape().to_vec();
+        let y = v.slice_axis(axis, start, len);
+        self.unary(y, move |g| {
+            // Scatter the slice gradient back into a zero tensor.
+            let mut out = Tensor::zeros(full.clone());
+            let outer: usize = full[..axis].iter().product();
+            let mid = full[axis];
+            let inner: usize = full[axis + 1..].iter().product();
+            let gd = g.data();
+            let od = out.data_mut();
+            for o in 0..outer {
+                for m in 0..len {
+                    let src = (o * len + m) * inner;
+                    let dst = (o * mid + start + m) * inner;
+                    od[dst..dst + inner].copy_from_slice(&gd[src..src + inner]);
+                }
+            }
+            out
+        })
+    }
+
+    /// Concatenate vars along an axis.
+    pub fn concat(vars: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!vars.is_empty());
+        let tape = vars[0].tape;
+        let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let y = Tensor::concat(&refs, axis);
+        let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
+        let sizes: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
+        let tracked = vars.iter().any(|v| v.tracked());
+        tape.record(
+            y,
+            tracked,
+            Box::new(move |g| {
+                let mut out = Vec::with_capacity(ids.len());
+                let mut off = 0usize;
+                for (&id, &sz) in ids.iter().zip(&sizes) {
+                    out.push((id, g.slice_axis(axis, off, sz)));
+                    off += sz;
+                }
+                out
+            }),
+        )
+    }
+
+    /// Gather rows of a 2-d var (gradient scatter-adds back).
+    pub fn gather_rows(&self, indices: Vec<usize>) -> Var<'t> {
+        let v = self.value();
+        let rows = v.shape()[0];
+        let y = v.gather_rows(&indices);
+        self.unary(y, move |g| g.scatter_add_rows(&indices, rows))
+    }
+
+    /// Mean squared error against a constant target, optionally weighted.
+    ///
+    /// `weight` broadcasts against the value; the result is
+    /// `mean(weight * (self - target)^2)`.
+    pub fn weighted_mse(&self, target: &Tensor, weight: Option<&Tensor>) -> Var<'t> {
+        let t = self.tape.constant(target.clone());
+        let diff = self.sub(t);
+        let sq = diff.square();
+        match weight {
+            Some(w) => {
+                let wv = self.tape.constant(w.clone());
+                sq.mul(wv).mean()
+            }
+            None => sq.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use orbit2_tensor::random::randn;
+
+    #[test]
+    fn add_mul_chain_grad() {
+        // f(a, b) = sum((a + b) * a); df/da = (2a + b), df/db = a
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(vec![2], vec![3.0, 4.0]));
+        let loss = a.add(b).mul(a).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[5.0, 8.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcasting_add_reduces_grad() {
+        let tape = Tape::new();
+        let a = tape.leaf(randn(&[2, 3], 1));
+        let b = tape.leaf(randn(&[3], 2)); // broadcast row
+        let loss = a.add(b).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(b).unwrap().shape(), &[3]);
+        assert_eq!(g.get(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_blocks_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(randn(&[4], 3));
+        let c = tape.constant(randn(&[4], 4));
+        let loss = a.mul(c).sum();
+        let g = tape.backward(loss);
+        assert!(g.get(c).is_none());
+        assert!(g.get(a).is_some());
+    }
+
+    #[test]
+    fn matmul_grad_matches_fd() {
+        check_gradients(
+            &[vec![3, 4], vec![4, 2]],
+            |_tape, vars| vars[0].matmul(vars[1]).sum(),
+            1e-2,
+            42,
+        );
+    }
+
+    #[test]
+    fn softmax_grad_matches_fd() {
+        check_gradients(&[vec![3, 5]], |_tape, vars| {
+            // A non-trivial downstream function of the softmax.
+            let s = vars[0].softmax_last();
+            s.square().sum()
+        }, 1e-2, 7);
+    }
+
+    #[test]
+    fn elementwise_grads_match_fd() {
+        check_gradients(&[vec![6]], |_t, v| v[0].tanh().sum(), 1e-2, 1);
+        check_gradients(&[vec![6]], |_t, v| v[0].gelu().sum(), 1e-2, 2);
+        check_gradients(&[vec![6]], |_t, v| v[0].square().sum(), 1e-2, 3);
+        check_gradients(&[vec![6]], |_t, v| v[0].exp().mean(), 1e-2, 4);
+        check_gradients(&[vec![6]], |_t, v| v[0].smooth_abs(0.1).sum(), 1e-2, 5);
+        check_gradients(&[vec![6]], |_t, v| v[0].sigmoid().sum(), 1e-2, 6);
+        check_gradients(&[vec![6]], |_t, v| v[0].softplus().sum(), 1e-2, 7);
+    }
+
+    #[test]
+    fn softplus_is_nonnegative_and_asymptotic() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3], vec![-30.0, 0.0, 30.0]));
+        let y = x.softplus().value();
+        assert!(y.min_value() >= 0.0);
+        assert!((y.data()[1] - (2.0f32).ln()).abs() < 1e-6);
+        assert!((y.data()[2] - 30.0).abs() < 1e-4, "softplus(x) -> x for large x");
+    }
+
+    #[test]
+    fn div_grad_matches_fd() {
+        check_gradients(
+            &[vec![4], vec![4]],
+            |_t, v| {
+                // Shift denominator away from zero for stability.
+                let denom = v[1].square().shift(1.0);
+                v[0].div(denom).sum()
+            },
+            1e-2,
+            9,
+        );
+    }
+
+    #[test]
+    fn slice_and_concat_grads() {
+        check_gradients(
+            &[vec![3, 4]],
+            |_t, v| {
+                let a = v[0].slice_axis(1, 0, 2);
+                let b = v[0].slice_axis(1, 2, 2);
+                Var::concat(&[b, a], 1).square().sum()
+            },
+            1e-2,
+            11,
+        );
+    }
+
+    #[test]
+    fn gather_rows_grad() {
+        check_gradients(
+            &[vec![4, 3]],
+            |_t, v| v[0].gather_rows(vec![1, 1, 3]).square().sum(),
+            1e-2,
+            13,
+        );
+    }
+
+    #[test]
+    fn weighted_mse_value_and_grad() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![2], vec![1.0, 3.0]));
+        let target = Tensor::from_vec(vec![2], vec![0.0, 0.0]);
+        let w = Tensor::from_vec(vec![2], vec![1.0, 2.0]);
+        let loss = pred.weighted_mse(&target, Some(&w));
+        assert!((loss.value().item() - (1.0 + 18.0) / 2.0).abs() < 1e-6);
+        let g = tape.backward(loss);
+        // d/dp mean(w (p-t)^2) = 2 w (p - t) / n
+        assert_eq!(g.get(pred).unwrap().data(), &[1.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let a = tape.leaf(randn(&[3], 1));
+        let _ = tape.backward(a);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // loss = sum(a*a + a*a) -> grad 4a
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2], vec![1.0, -2.0]));
+        let x = a.mul(a);
+        let y = a.mul(a);
+        let loss = x.add(y).sum();
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[4.0, -8.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Flash vs naive attention kernels (paper Sec. III-D "Flash Attention").
+//!
+//! The cache-blocked streaming-softmax kernel avoids materializing the
+//! `[S, S]` score matrix; past L2-sized sequences it wins on memory traffic
+//! even on CPU, and it is numerically equivalent (property-tested in
+//! `orbit2-tensor`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit2_tensor::attention::{flash_attention, naive_attention, AttentionConfig};
+use orbit2_tensor::random::randn;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(10);
+    for &s in &[256usize, 1024, 4096] {
+        let d = 64usize;
+        let q = randn(&[s, d], 1);
+        let k = randn(&[s, d], 2);
+        let v = randn(&[s, d], 3);
+        group.bench_with_input(BenchmarkId::new("naive", s), &s, |b, _| {
+            b.iter(|| naive_attention(&q, &k, &v))
+        });
+        group.bench_with_input(BenchmarkId::new("flash", s), &s, |b, _| {
+            b.iter(|| flash_attention(&q, &k, &v, AttentionConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Hybrid-OP ablation (paper Sec. III-D): matrix-chain sharding with
+//! alternating row/column dimensions (one final reduction) vs naive tensor
+//! parallelism (all-gather between the matmuls).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit2_bench::hybrid::{chain_hybrid_op, chain_inputs, chain_naive_tp};
+
+fn bench_hybrid_op(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_op");
+    group.sample_size(10);
+    for &d in &[256usize, 512] {
+        let inp = chain_inputs(256, d, 1);
+        for &shards in &[4usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("hybrid_d{d}"), shards),
+                &shards,
+                |b, &s| b.iter(|| chain_hybrid_op(&inp, s)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_tp_d{d}"), shards),
+                &shards,
+                |b, &s| b.iter(|| chain_naive_tp(&inp, s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid_op);
+criterion_main!(benches);

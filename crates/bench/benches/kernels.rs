@@ -1,0 +1,74 @@
+//! Substrate kernel benchmarks: blocked matmul, conv2d, Canny + quad-tree
+//! construction (the CPU-side cost the compression model charges for), FFT
+//! and the synthetic field generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
+use orbit2_tensor::conv::{conv2d, ConvGeom};
+use orbit2_tensor::random::randn;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let a = randn(&[n, n], 1);
+        let b = randn(&[n, n], 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_3x3");
+    group.sample_size(10);
+    for &hw in &[32usize, 64] {
+        let x = randn(&[1, 8, hw, hw], 3);
+        let w = randn(&[8, 8, 3, 3], 4);
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, _| {
+            bench.iter(|| conv2d(&x, &w, None, ConvGeom::same(3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadtree_build");
+    group.sample_size(10);
+    for &hw in &[64usize, 128] {
+        let field = randn(&[hw * hw], 5).into_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, _| {
+            bench.iter(|| QuadTree::build(&field, hw, hw, QuadTreeParams::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    use orbit2_fft::fft2::fft2_real;
+    let mut group = c.benchmark_group("fft2");
+    group.sample_size(10);
+    for &hw in &[64usize, 256] {
+        let field = randn(&[hw * hw], 6).into_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, _| {
+            bench.iter(|| fft2_real(&field, hw, hw))
+        });
+    }
+    group.finish();
+}
+
+fn bench_synth(c: &mut Criterion) {
+    use orbit2_climate::synth::{gaussian_random_field, GrfSpec};
+    let mut group = c.benchmark_group("synthetic_field");
+    group.sample_size(10);
+    for &hw in &[64usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, &hw| {
+            bench.iter(|| gaussian_random_field(hw, hw, GrfSpec { slope: 3.0 }, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_quadtree, bench_fft, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Fig. 6: (a) TILES sequence-scaling speedup across GPUs; (b) strong
+//! scaling efficiency and sustained throughput for all four model sizes.
+//!
+//! Fig. 6(a) has both a simulated curve (up to 2048 GPUs) and a *measured*
+//! curve: real tiled inference on this machine's cores via rayon, which is
+//! exactly the TILES execution model with threads standing in for GPUs.
+
+use crate::fmt::{flops, sci, Table};
+use orbit2::planner::strong_scaling_series;
+use orbit2_cluster::topology::ClusterSpec;
+use orbit2_model::ModelConfig;
+use orbit2_parallel::ReslimCostModel;
+use std::time::Instant;
+
+/// Simulated Fig. 6(a): speedup vs the 8-GPU untiled baseline, 16 tiles.
+pub fn render_6a_simulated() -> String {
+    let model = ReslimCostModel::new();
+    let mut t = Table::new(&["GPUs", "Speedup (model)", "Speedup (paper)"]);
+    let paper: &[(usize, &str)] = &[
+        (8, "1.9"),
+        (64, "~15"),
+        (256, "~64"),
+        (1024, "~258"),
+        (2048, "515"),
+    ];
+    for &(gpus, p) in paper {
+        t.row(vec![
+            gpus.to_string(),
+            format!("{:.1}", model.speedup(16, 1, gpus, 8)),
+            p.into(),
+        ]);
+    }
+    format!("Fig 6(a) [cost model, 16 tiles, vs 8-GPU untiled baseline]:\n{}", t.render())
+}
+
+/// Measured Fig. 6(a): real tiled inference over rayon thread pools of
+/// increasing size. Returns `(threads, seconds)` pairs.
+pub fn measure_6a_threads(max_threads: usize) -> Vec<(usize, f64)> {
+    use orbit2::inference::downscale;
+    use orbit2_imaging::tiles::TileSpec;
+    let ds = crate::setup::us_dataset(4, 3);
+    let model = crate::setup::tiny_model(3);
+    let norm = orbit2_climate::Normalizer::fit(&ds, 2);
+    let sample = ds.sample(0);
+    let spec = TileSpec::square(16, 1);
+    let mut out = Vec::new();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let secs = pool.install(|| {
+            let start = Instant::now();
+            let _ = downscale(&model, &norm, &sample.input, Some(spec), 1.0);
+            start.elapsed().as_secs_f64()
+        });
+        out.push((threads, secs));
+        threads *= 2;
+    }
+    out
+}
+
+/// Render the measured thread-scaling curve.
+pub fn render_6a_measured() -> String {
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let series = measure_6a_threads(available.min(16));
+    let base = series[0].1;
+    let mut t = Table::new(&["Threads (sim. GPUs)", "Time (s)", "Speedup vs 1 thread"]);
+    for (threads, secs) in &series {
+        t.row(vec![threads.to_string(), sci(*secs), format!("{:.2}", base / secs)]);
+    }
+    format!(
+        "Fig 6(a) [measured: real 16-tile TILES inference on this CPU's threads]:\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 6(b): strong scaling, all four paper model sizes.
+pub fn render_6b() -> String {
+    let cluster = ClusterSpec::frontier();
+    let gpu_counts = [512usize, 2048, 8192, 32_768];
+    let mut out = String::from("Fig 6(b) [simulated strong scaling, 64 -> 4096 nodes]:\n");
+    let configs = [
+        ("9.5M", ModelConfig::paper_9_5m(), "92-98% eff, 363 PFLOPS @4096 nodes"),
+        ("126M", ModelConfig::paper_126m(), "92-98% eff, 1.3 EFLOPS"),
+        ("1B", ModelConfig::paper_1b(), "92-98% eff, 1.5 EFLOPS"),
+        ("10B", ModelConfig::paper_10b(), "92-98% eff, 1.8 EFLOPS"),
+    ];
+    for (name, cfg, paper) in configs {
+        let series = strong_scaling_series(&cfg, &gpu_counts, &cluster);
+        let mut t = Table::new(&["Nodes", "GPUs", "Time/sample (s)", "Efficiency", "Sustained"]);
+        for p in &series {
+            t.row(vec![
+                p.nodes.to_string(),
+                p.gpus.to_string(),
+                sci(p.per_sample_s),
+                format!("{:.1}%", p.efficiency * 100.0),
+                flops(p.sustained_flops),
+            ]);
+        }
+        out.push_str(&format!("\nModel {name} (paper: {paper}):\n{}", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_6a_near_paper_endpoints() {
+        let s = render_6a_simulated();
+        assert!(s.contains("2048"));
+    }
+
+    #[test]
+    fn measured_6a_speeds_up_with_threads() {
+        let series = measure_6a_threads(4);
+        assert!(series.len() >= 2);
+        let (t1, tn) = (series[0].1, series.last().unwrap().1);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores >= 2 {
+            assert!(tn < t1, "more threads must not be slower: {t1} -> {tn}");
+        } else {
+            // Single-core host: only assert that oversubscription does not
+            // collapse throughput (scheduling overhead < 30%).
+            assert!(tn < t1 * 1.3, "oversubscription overhead too high: {t1} -> {tn}");
+        }
+    }
+
+    #[test]
+    fn fig6b_renders_all_models() {
+        let s = render_6b();
+        for m in ["9.5M", "126M", "1B", "10B"] {
+            assert!(s.contains(&format!("Model {m}")));
+        }
+        assert!(s.contains("EFLOPS") || s.contains("PFLOPS"));
+    }
+}

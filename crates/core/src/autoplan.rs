@@ -1,0 +1,148 @@
+//! Automatic parallelism planning: search the `DDP × TILES × FSDP × TP`
+//! space for the fastest configuration that fits in memory on a given GPU
+//! budget — the decision the paper's authors made by hand (Fig. 5) turned
+//! into a planner.
+
+use orbit2_cluster::topology::ClusterSpec;
+use orbit2_parallel::{estimate_step, ParallelismPlan, ReslimCostModel, StepEstimate, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// A scored candidate plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredPlan {
+    /// The parallelism decomposition.
+    pub plan: ParallelismPlan,
+    /// Its step estimate.
+    pub estimate: StepEstimate,
+}
+
+/// Search all power-of-two decompositions of `gpus` into
+/// `ddp x tiles x fsdp x tp` (tp bounded by the node size, tiles bounded by
+/// `max_tiles`) and return the fitting plans sorted by per-sample time.
+pub fn search_plans(
+    workload: &WorkloadProfile,
+    gpus: usize,
+    max_tiles: usize,
+    cluster: &ClusterSpec,
+) -> Vec<ScoredPlan> {
+    assert!(gpus >= 1);
+    let cost = ReslimCostModel::new();
+    let mut out = Vec::new();
+    let mut tp = 1usize;
+    while tp <= cluster.gpus_per_node && tp <= gpus {
+        let mut fsdp = 1usize;
+        while tp * fsdp <= gpus {
+            let mut tiles = 1usize;
+            while tp * fsdp * tiles <= gpus && tiles <= max_tiles {
+                let ddp = gpus / (tp * fsdp * tiles);
+                if ddp * tp * fsdp * tiles == gpus {
+                    let plan = ParallelismPlan { ddp, tiles, fsdp, tensor_parallel: tp };
+                    if plan.validate(cluster).is_ok() {
+                        let est = estimate_step(&plan, workload, cluster, cost.halo_overhead(tiles));
+                        if est.fits {
+                            out.push(ScoredPlan { plan, estimate: est });
+                        }
+                    }
+                }
+                tiles *= 2;
+            }
+            fsdp *= 2;
+        }
+        tp *= 2;
+    }
+    out.sort_by(|a, b| {
+        a.estimate
+            .per_sample_s
+            .partial_cmp(&b.estimate.per_sample_s)
+            .expect("finite estimates")
+    });
+    out
+}
+
+/// The fastest fitting plan, if any.
+pub fn best_plan(
+    workload: &WorkloadProfile,
+    gpus: usize,
+    max_tiles: usize,
+    cluster: &ClusterSpec,
+) -> Option<ScoredPlan> {
+    search_plans(workload, gpus, max_tiles, cluster).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::fig6_workload;
+    use orbit2_model::ModelConfig;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::frontier()
+    }
+
+    #[test]
+    fn small_model_prefers_pure_data_parallelism() {
+        // A 9.5M model has no memory pressure: sharding only adds
+        // communication, so the best plan should use no tensor parallelism
+        // and no FSDP.
+        let w = fig6_workload(&ModelConfig::paper_9_5m());
+        let best = best_plan(&w, 64, 16, &cluster()).expect("some plan fits");
+        assert_eq!(best.plan.tensor_parallel, 1, "{:?}", best.plan);
+        assert_eq!(best.plan.fsdp, 1, "{:?}", best.plan);
+        assert!(best.plan.ddp >= 4);
+    }
+
+    #[test]
+    fn large_model_is_forced_to_shard() {
+        // 10B cannot fit unsharded: every returned plan must shard.
+        let w = fig6_workload(&ModelConfig::paper_10b());
+        let plans = search_plans(&w, 512, 16, &cluster());
+        assert!(!plans.is_empty(), "512 GPUs must host a 10B model somehow");
+        for p in &plans {
+            assert!(
+                p.plan.tensor_parallel * p.plan.fsdp >= 4,
+                "unsharded 10B plan slipped through: {:?}",
+                p.plan
+            );
+        }
+    }
+
+    #[test]
+    fn best_plan_is_actually_fastest_and_fits() {
+        let w = fig6_workload(&ModelConfig::paper_126m());
+        let plans = search_plans(&w, 128, 16, &cluster());
+        assert!(plans.len() > 3, "search space should be non-trivial");
+        for pair in plans.windows(2) {
+            assert!(pair[0].estimate.per_sample_s <= pair[1].estimate.per_sample_s);
+        }
+        assert!(plans[0].estimate.fits);
+    }
+
+    #[test]
+    fn all_plans_use_exactly_the_gpu_budget() {
+        let w = fig6_workload(&ModelConfig::paper_126m());
+        for p in search_plans(&w, 256, 16, &cluster()) {
+            assert_eq!(p.plan.world_size(), 256);
+        }
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        // A 10B model on 1 GPU cannot fit at all.
+        let w = fig6_workload(&ModelConfig::paper_10b());
+        assert!(best_plan(&w, 1, 1, &cluster()).is_none());
+    }
+
+    #[test]
+    fn quadratic_heavy_workload_wants_tiles() {
+        // Blow up the attention share: a non-flash workload with a long
+        // effective sequence makes tiling attractive enough that the best
+        // plan tiles the sample.
+        let mut w = fig6_workload(&ModelConfig::paper_9_5m());
+        w.eff_seq = 500_000;
+        w.flash_attention = false;
+        // FLOPs proportional to the quadratic term now.
+        w.flops_per_sample = 3.0 * 6.0 * 4.0 * (w.eff_seq as f64).powi(2) * 256.0;
+        let best = best_plan(&w, 64, 16, &cluster()).expect("plan");
+        assert!(best.plan.tiles > 1, "quadratic workload should tile: {:?}", best.plan);
+    }
+}

@@ -1,0 +1,33 @@
+//! # orbit2
+//!
+//! The public API of the ORBIT-2 reproduction, tying the model, data,
+//! imaging, parallelism and cluster crates together:
+//!
+//! * [`tiling`] — multi-channel TILES splitting/stitching (halo-padded
+//!   tiles over `[C, H, W]` stacks);
+//! * [`trainer`] — the TILES-parallel training loop: every tile builds its
+//!   own gradient tape on its own thread (standing in for its own GPU),
+//!   gradients are averaged once per batch (the paper's single all-reduce),
+//!   with emulated-BF16 mixed precision and dynamic gradient scaling;
+//! * [`inference`] — halo-padded tiled inference with core stitching;
+//! * [`eval`] — evaluation of a trained model against a dataset split,
+//!   producing the paper's Table IV metric rows per variable;
+//! * [`checkpoint`] — model save/load;
+//! * [`planner`] — the exascale run planner: drives the cluster simulator
+//!   and parallelism cost models to regenerate the paper's scaling results
+//!   (Tables II/III, Fig. 6) for configurations far beyond this machine.
+
+pub mod autoplan;
+pub mod checkpoint;
+pub mod eval;
+pub mod inference;
+pub mod planner;
+pub mod tiling;
+pub mod trainer;
+
+pub use autoplan::{best_plan, search_plans, ScoredPlan};
+pub use checkpoint::{load_model, save_model};
+pub use eval::{evaluate_model, VariableReport};
+pub use inference::downscale;
+pub use planner::{max_sequence_row, strong_scaling_series, ScalingPoint, SeqLenRow};
+pub use trainer::{TrainReport, Trainer, TrainerConfig};

@@ -1,0 +1,264 @@
+//! Transformer building blocks: multi-head self-attention, MLP, the
+//! pre-norm block, and the cross-attention variable aggregation that
+//! collapses the channel axis into a single token sequence (paper Fig. 2).
+
+use crate::binder::Binder;
+use crate::config::ModelConfig;
+use orbit2_autograd::{ParamStore, Var};
+use orbit2_tensor::random::xavier;
+use orbit2_tensor::Tensor;
+
+/// Register parameters for one transformer block under `prefix`.
+pub fn init_block_params(store: &mut ParamStore, cfg: &ModelConfig, prefix: &str, seed: u64) {
+    let d = cfg.embed_dim;
+    let hidden = cfg.mlp_ratio * d;
+    for (i, name) in ["wq", "wk", "wv", "wo"].iter().enumerate() {
+        store.insert(format!("{prefix}.attn.{name}"), xavier(&[d, d], seed ^ (i as u64 + 1)));
+    }
+    store.insert(format!("{prefix}.attn.bo"), Tensor::zeros(vec![d]));
+    store.insert(format!("{prefix}.ln1.g"), Tensor::ones(vec![d]));
+    store.insert(format!("{prefix}.ln1.b"), Tensor::zeros(vec![d]));
+    store.insert(format!("{prefix}.ln2.g"), Tensor::ones(vec![d]));
+    store.insert(format!("{prefix}.ln2.b"), Tensor::zeros(vec![d]));
+    store.insert(format!("{prefix}.mlp.w1"), xavier(&[hidden, d], seed ^ 0x10));
+    store.insert(format!("{prefix}.mlp.b1"), Tensor::zeros(vec![hidden]));
+    store.insert(format!("{prefix}.mlp.w2"), xavier(&[d, hidden], seed ^ 0x11));
+    store.insert(format!("{prefix}.mlp.b2"), Tensor::zeros(vec![d]));
+}
+
+/// Multi-head self-attention over `[N, D]` tokens.
+pub fn self_attention<'t>(
+    binder: &Binder<'t, '_>,
+    cfg: &ModelConfig,
+    prefix: &str,
+    x: Var<'t>,
+) -> Var<'t> {
+    let d = cfg.embed_dim;
+    let dh = cfg.head_dim();
+    let q = x.matmul(binder.param(&format!("{prefix}.attn.wq")).transpose2());
+    let k = x.matmul(binder.param(&format!("{prefix}.attn.wk")).transpose2());
+    let v = x.matmul(binder.param(&format!("{prefix}.attn.wv")).transpose2());
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut heads = Vec::with_capacity(cfg.heads);
+    for h in 0..cfg.heads {
+        let qh = q.slice_axis(1, h * dh, dh);
+        let kh = k.slice_axis(1, h * dh, dh);
+        let vh = v.slice_axis(1, h * dh, dh);
+        let scores = qh.matmul(kh.transpose2()).scale(scale);
+        let probs = scores.softmax_last();
+        heads.push(probs.matmul(vh));
+    }
+    let concat = Var::concat(&heads, 1);
+    debug_assert_eq!(concat.shape()[1], d);
+    concat.linear(
+        binder.param(&format!("{prefix}.attn.wo")),
+        Some(binder.param(&format!("{prefix}.attn.bo"))),
+    )
+}
+
+/// Two-layer GELU MLP.
+pub fn mlp<'t>(binder: &Binder<'t, '_>, prefix: &str, x: Var<'t>) -> Var<'t> {
+    let h = x
+        .linear(
+            binder.param(&format!("{prefix}.mlp.w1")),
+            Some(binder.param(&format!("{prefix}.mlp.b1"))),
+        )
+        .gelu();
+    h.linear(
+        binder.param(&format!("{prefix}.mlp.w2")),
+        Some(binder.param(&format!("{prefix}.mlp.b2"))),
+    )
+}
+
+/// Pre-norm transformer block: `x + Attn(LN(x))`, then `x + MLP(LN(x))`.
+pub fn transformer_block<'t>(
+    binder: &Binder<'t, '_>,
+    cfg: &ModelConfig,
+    prefix: &str,
+    x: Var<'t>,
+) -> Var<'t> {
+    let n1 = x.layer_norm(
+        binder.param(&format!("{prefix}.ln1.g")),
+        binder.param(&format!("{prefix}.ln1.b")),
+        1e-5,
+    );
+    let x = x.add(self_attention(binder, cfg, prefix, n1));
+    let n2 = x.layer_norm(
+        binder.param(&format!("{prefix}.ln2.g")),
+        binder.param(&format!("{prefix}.ln2.b")),
+        1e-5,
+    );
+    x.add(mlp(binder, prefix, n2))
+}
+
+/// Register parameters of the cross-attention variable aggregation.
+pub fn init_xattn_params(store: &mut ParamStore, cfg: &ModelConfig, seed: u64) {
+    let d = cfg.embed_dim;
+    for (i, name) in ["wq", "wk", "wv", "wo"].iter().enumerate() {
+        store.insert(format!("xattn.{name}"), xavier(&[d, d], seed ^ (0x20 + i as u64)));
+    }
+    store.insert("xattn.bo", Tensor::zeros(vec![d]));
+}
+
+/// Cross-attention aggregation: per spatial token, attend from the
+/// variable-mean query over the `C` per-variable tokens and collapse them
+/// into one (paper: "aggregate multi-variable embeddings into a unified
+/// representation, effectively collapsing the variable dimension").
+pub fn cross_attention_aggregate<'t>(
+    binder: &Binder<'t, '_>,
+    cfg: &ModelConfig,
+    tokens: &[Var<'t>],
+) -> Var<'t> {
+    assert!(!tokens.is_empty());
+    let d = cfg.embed_dim;
+    let c = tokens.len();
+    // Query: mean over variables, projected.
+    let mut sum = tokens[0];
+    for t in &tokens[1..] {
+        sum = sum.add(*t);
+    }
+    let mean = sum.scale(1.0 / c as f32);
+    let q = mean.matmul(binder.param("xattn.wq").transpose2());
+    let scale = 1.0 / (d as f32).sqrt();
+    let ones = binder.constant(Tensor::ones(vec![d, 1]));
+    let mut scores = Vec::with_capacity(c);
+    let mut values = Vec::with_capacity(c);
+    for t in tokens {
+        let k = t.matmul(binder.param("xattn.wk").transpose2());
+        values.push(t.matmul(binder.param("xattn.wv").transpose2()));
+        // Row-wise dot product q·k -> [N, 1].
+        scores.push(q.mul(k).matmul(ones).scale(scale));
+    }
+    let probs = Var::concat(&scores, 1).softmax_last(); // [N, C]
+    let mut out: Option<Var<'t>> = None;
+    for (ci, v) in values.iter().enumerate() {
+        let p = probs.slice_axis(1, ci, 1); // [N, 1] broadcasts over D
+        let term = p.mul(*v);
+        out = Some(match out {
+            Some(acc) => acc.add(term),
+            None => term,
+        });
+    }
+    out.unwrap()
+        .linear(binder.param("xattn.wo"), Some(binder.param("xattn.bo")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit2_autograd::Tape;
+    use orbit2_tensor::random::randn;
+
+    fn setup(cfg: &ModelConfig) -> ParamStore {
+        let mut store = ParamStore::new();
+        init_block_params(&mut store, cfg, "blk0", 7);
+        init_xattn_params(&mut store, cfg, 7);
+        store
+    }
+
+    #[test]
+    fn block_preserves_shape_and_is_finite() {
+        let cfg = ModelConfig::tiny();
+        let store = setup(&cfg);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let x = tape.constant(randn(&[10, cfg.embed_dim], 1));
+        let y = transformer_block(&binder, &cfg, "blk0", x);
+        assert_eq!(y.shape(), vec![10, cfg.embed_dim]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn block_is_trainable_end_to_end() {
+        let cfg = ModelConfig::tiny();
+        let store = setup(&cfg);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let x = tape.constant(randn(&[6, cfg.embed_dim], 2));
+        let y = transformer_block(&binder, &cfg, "blk0", x);
+        let loss = y.square().sum();
+        let grads = tape.backward(loss);
+        let gm = binder.grad_map(&grads);
+        // Every block parameter receives a non-trivial gradient.
+        for name in [
+            "blk0.attn.wq",
+            "blk0.attn.wo",
+            "blk0.mlp.w1",
+            "blk0.mlp.w2",
+            "blk0.ln1.g",
+        ] {
+            let g = &gm[name];
+            assert!(g.data().iter().any(|&x| x != 0.0), "{name} has zero gradient");
+            assert!(g.all_finite(), "{name} has non-finite gradient");
+        }
+    }
+
+    #[test]
+    fn attention_head_slices_cover_dim() {
+        // Heads x head_dim == embed_dim guaranteed by config; smoke-check
+        // a 4-head tiny config through attention.
+        let cfg = ModelConfig { heads: 4, embed_dim: 32, ..ModelConfig::tiny() };
+        let mut store = ParamStore::new();
+        init_block_params(&mut store, &cfg, "blk0", 3);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let x = tape.constant(randn(&[5, 32], 3));
+        let y = self_attention(&binder, &cfg, "blk0", x);
+        assert_eq!(y.shape(), vec![5, 32]);
+    }
+
+    #[test]
+    fn xattn_collapses_variables() {
+        let cfg = ModelConfig::tiny().with_channels(5, 3);
+        let store = setup(&cfg);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let tokens: Vec<Var<'_>> = (0..5)
+            .map(|i| tape.constant(randn(&[8, cfg.embed_dim], 10 + i)))
+            .collect();
+        let agg = cross_attention_aggregate(&binder, &cfg, &tokens);
+        assert_eq!(agg.shape(), vec![8, cfg.embed_dim]);
+        assert!(agg.value().all_finite());
+    }
+
+    #[test]
+    fn xattn_attends_not_averages() {
+        // The aggregation must differ from a plain mean of the value
+        // projections (i.e. the softmax actually weights variables).
+        let cfg = ModelConfig::tiny().with_channels(3, 3);
+        let store = setup(&cfg);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let tokens: Vec<Var<'_>> = (0..3)
+            .map(|i| tape.constant(randn(&[4, cfg.embed_dim], 20 + i).mul_scalar((i + 1) as f32)))
+            .collect();
+        let agg = cross_attention_aggregate(&binder, &cfg, &tokens);
+        // Plain mean baseline through the same projections.
+        let mut sum = tokens[0];
+        for t in &tokens[1..] {
+            sum = sum.add(*t);
+        }
+        let mean_v = sum
+            .scale(1.0 / 3.0)
+            .matmul(binder.param("xattn.wv").transpose2())
+            .linear(binder.param("xattn.wo"), Some(binder.param("xattn.bo")));
+        assert!(agg.value().max_abs_diff(&mean_v.value()) > 1e-4);
+    }
+
+    #[test]
+    fn xattn_gradients_flow_to_all_projections() {
+        let cfg = ModelConfig::tiny().with_channels(3, 3);
+        let store = setup(&cfg);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let tokens: Vec<Var<'_>> = (0..3)
+            .map(|i| tape.constant(randn(&[4, cfg.embed_dim], 30 + i)))
+            .collect();
+        let loss = cross_attention_aggregate(&binder, &cfg, &tokens).square().sum();
+        let grads = tape.backward(loss);
+        let gm = binder.grad_map(&grads);
+        for name in ["xattn.wq", "xattn.wk", "xattn.wv", "xattn.wo"] {
+            assert!(gm[name].data().iter().any(|&x| x != 0.0), "{name} got no gradient");
+        }
+    }
+}

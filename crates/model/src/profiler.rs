@@ -1,0 +1,179 @@
+//! Analytic parameter/FLOP accounting — the stand-in for the paper's
+//! DeepSpeed profiler (Sec. IV "Performance Metrics").
+//!
+//! FLOP formulas are the standard transformer estimates: per layer,
+//! `8 s D²` for the QKVO projections, `4 s² D` for the attention matmuls,
+//! and `4 · mlp_ratio · s D²` for the MLP; training costs ≈ 3x the forward
+//! pass (backward ≈ 2x). Reslim runs these at the *effective* (aggregated,
+//! low-resolution, compressed) sequence; the baseline pays the full
+//! upsampled sequence.
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Analytic profile of one model configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Parameter count.
+    pub params: u64,
+    /// Transformer depth.
+    pub layers: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP expansion ratio.
+    pub mlp_ratio: usize,
+}
+
+impl ModelProfile {
+    /// Profile a configuration.
+    pub fn of(cfg: &ModelConfig) -> Self {
+        Self {
+            params: cfg.param_count(),
+            layers: cfg.layers,
+            embed_dim: cfg.embed_dim,
+            heads: cfg.heads,
+            mlp_ratio: cfg.mlp_ratio,
+        }
+    }
+
+    /// Forward FLOPs of the transformer stack at sequence length `s`.
+    pub fn forward_flops(&self, s: u64) -> f64 {
+        let d = self.embed_dim as f64;
+        let sf = s as f64;
+        let per_layer = 8.0 * sf * d * d + 4.0 * sf * sf * d + 4.0 * self.mlp_ratio as f64 * sf * d * d;
+        per_layer * self.layers as f64
+    }
+
+    /// Forward+backward (training) FLOPs at sequence length `s`.
+    pub fn train_flops(&self, s: u64) -> f64 {
+        3.0 * self.forward_flops(s)
+    }
+
+    /// Fraction of forward FLOPs in the quadratic attention term at `s` —
+    /// drives where tiling pays off.
+    pub fn attention_fraction(&self, s: u64) -> f64 {
+        let d = self.embed_dim as f64;
+        let sf = s as f64;
+        let quad = 4.0 * sf * sf * d;
+        let lin = (8.0 + 4.0 * self.mlp_ratio as f64) * sf * d * d;
+        quad / (quad + lin) * self.layers as f64 / self.layers as f64
+    }
+
+    /// Sequence length at which attention reaches half the FLOPs:
+    /// `s* = (2 + mlp_ratio) · D`.
+    pub fn attention_crossover_seq(&self) -> u64 {
+        ((2 + self.mlp_ratio) * self.embed_dim) as u64
+    }
+}
+
+/// Sequence-length accounting for the downscaling task, following the
+/// paper's conventions (Table II: "outputs of shape [H, W, C] and 2x2 patch
+/// size yield sequence length H·W·C/4").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SequenceAccounting {
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Patch edge.
+    pub patch: usize,
+    /// Spatial refinement factor.
+    pub factor: usize,
+}
+
+impl SequenceAccounting {
+    /// The paper's headline "sequence length": output tokens across all
+    /// channels.
+    pub fn nominal_seq_len(&self) -> u64 {
+        (self.out_h as u64 * self.out_w as u64 * self.out_c as u64) / (self.patch * self.patch) as u64
+    }
+
+    /// The sequence the baseline upsample-first ViT actually runs:
+    /// channel-aggregated but at full output resolution.
+    pub fn baseline_vit_seq(&self) -> u64 {
+        (self.out_h as u64 * self.out_w as u64) / (self.patch * self.patch) as u64
+    }
+
+    /// The effective sequence Reslim's ViT runs: channel aggregation
+    /// (x `out_c`), low-resolution operation (x `factor^2`) and adaptive
+    /// compression (x `compression`).
+    pub fn reslim_effective_seq(&self, compression: f64) -> u64 {
+        let reduction = self.out_c as f64 * (self.factor * self.factor) as f64 * compression.max(1.0);
+        (self.nominal_seq_len() as f64 / reduction).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2a_sequence_lengths() {
+        // 622 -> 156 km: [128, 256, 3] with 2x2 patches -> 24,576 tokens.
+        let acc = SequenceAccounting { out_h: 128, out_w: 256, out_c: 3, patch: 2, factor: 4 };
+        assert_eq!(acc.nominal_seq_len(), 24_576);
+        // 112 -> 28 km: [720, 1440, 3] -> 777,600 tokens ("777,660" in the
+        // paper's table, which rounds).
+        let acc2 = SequenceAccounting { out_h: 720, out_w: 1440, out_c: 3, patch: 2, factor: 4 };
+        assert_eq!(acc2.nominal_seq_len(), 777_600);
+    }
+
+    #[test]
+    fn table3_sequence_lengths() {
+        // [5760, 11520, 18] -> 298.6M; [21600, 43200, 18] -> 4.2B.
+        let a = SequenceAccounting { out_h: 5760, out_w: 11520, out_c: 18, patch: 2, factor: 4 };
+        assert!((a.nominal_seq_len() as f64 / 298.6e6 - 1.0).abs() < 0.01);
+        let b = SequenceAccounting { out_h: 21_600, out_w: 43_200, out_c: 18, patch: 2, factor: 4 };
+        assert!((b.nominal_seq_len() as f64 / 4.199e9 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reslim_reduction_factors() {
+        // Paper Sec. V-B: channel aggregation 18x, low-res 16x (4x per
+        // axis), compression 4x -> 1.1B tokens become ~17k per tile after
+        // also dividing by 16 tiles.
+        let acc = SequenceAccounting { out_h: 11_520, out_w: 23_040, out_c: 18, patch: 2, factor: 4 };
+        let eff = acc.reslim_effective_seq(4.0);
+        let per_tile = eff / 16;
+        assert!(per_tile > 10_000 && per_tile < 80_000, "per-tile seq {per_tile}");
+    }
+
+    #[test]
+    fn flops_scale_quadratically_in_seq_eventually() {
+        let p = ModelProfile::of(&ModelConfig::paper_9_5m());
+        let s0 = p.attention_crossover_seq();
+        // Past the crossover, doubling s costs > 3x.
+        let f1 = p.forward_flops(4 * s0);
+        let f2 = p.forward_flops(8 * s0);
+        assert!(f2 / f1 > 3.0);
+        // Far below it, roughly linear.
+        let g1 = p.forward_flops(s0 / 64);
+        let g2 = p.forward_flops(s0 / 32);
+        assert!(g2 / g1 < 2.2);
+    }
+
+    #[test]
+    fn train_flops_are_3x_forward() {
+        let p = ModelProfile::of(&ModelConfig::paper_126m());
+        assert!((p.train_flops(1000) / p.forward_flops(1000) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_models_cost_more() {
+        let s = 16_384u64;
+        let f95 = ModelProfile::of(&ModelConfig::paper_9_5m()).forward_flops(s);
+        let f126 = ModelProfile::of(&ModelConfig::paper_126m()).forward_flops(s);
+        let f10b = ModelProfile::of(&ModelConfig::paper_10b()).forward_flops(s);
+        assert!(f95 < f126 && f126 < f10b);
+    }
+
+    #[test]
+    fn crossover_matches_formula() {
+        let p = ModelProfile::of(&ModelConfig::paper_9_5m());
+        assert_eq!(p.attention_crossover_seq(), 6 * 256);
+    }
+}

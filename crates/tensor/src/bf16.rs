@@ -1,0 +1,100 @@
+//! BF16 emulation for the mixed-precision trainer.
+//!
+//! The paper trains in BFLOAT16 with dynamic gradient scaling (Sec. III-D).
+//! We emulate BF16 on the CPU by rounding `f32` values to the nearest value
+//! representable with an 8-bit mantissa (round-to-nearest-even on the
+//! truncated bits), which reproduces BF16's precision loss while keeping all
+//! arithmetic in `f32` — the same trick PyTorch uses for CPU BF16 emulation.
+
+use crate::tensor::Tensor;
+
+/// Whether a computation runs in full or emulated-BF16 precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Bf16Mode {
+    /// Plain f32; no rounding applied.
+    #[default]
+    Full,
+    /// Values rounded to BF16 precision at layer boundaries.
+    Emulated,
+}
+
+/// Round one `f32` to the nearest BF16-representable value.
+pub fn bf16_round(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round-to-nearest-even on the low 16 bits.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    let rounded = bits.wrapping_add(rounding_bias) & 0xFFFF_0000;
+    f32::from_bits(rounded)
+}
+
+impl Tensor {
+    /// Quantize every element to BF16 precision (returns a new tensor).
+    pub fn to_bf16(&self) -> Tensor {
+        self.map(bf16_round)
+    }
+
+    /// Quantize in place when `mode` is [`Bf16Mode::Emulated`].
+    pub fn apply_precision(&mut self, mode: Bf16Mode) {
+        if mode == Bf16Mode::Emulated {
+            self.map_inplace(bf16_round);
+        }
+    }
+}
+
+/// Relative precision of BF16 (8 mantissa bits): ~2^-8.
+pub const BF16_EPS: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_pass_through() {
+        for &x in &[0.0f32, 1.0, -2.0, 0.5, 256.0] {
+            assert_eq!(bf16_round(x), x);
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        use crate::random::randn;
+        let t = randn(&[1000], 99);
+        let q = t.to_bf16();
+        for (&a, &b) in t.data().iter().zip(q.data()) {
+            if a != 0.0 {
+                assert!(((a - b) / a).abs() <= BF16_EPS, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_bits_are_cleared() {
+        let q = bf16_round(1.000_001);
+        assert_eq!(q.to_bits() & 0xFFFF, 0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-9 is exactly halfway between 1.0 and 1.0 + 2^-8;
+        // nearest-even rounds down to 1.0.
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_round(halfway), 1.0);
+    }
+
+    #[test]
+    fn non_finite_preserved() {
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn idempotent() {
+        use crate::random::randn;
+        let t = randn(&[64], 3).to_bf16();
+        t.assert_close(&t.to_bf16(), 0.0);
+    }
+}

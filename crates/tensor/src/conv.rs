@@ -1,0 +1,335 @@
+//! 2-D convolution via im2col + blocked matmul, with the backward kernels
+//! needed by the autograd crate.
+//!
+//! Layout is NCHW: `input [N, C, H, W]`, `weight [O, C, KH, KW]`. Reslim's
+//! residual path, its decoder, and the baseline model's channel-aggregation
+//! stage are all built from these kernels.
+
+use crate::matmul::matmul_slices;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Spatial geometry of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero padding (same all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kh) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// "Same" geometry for an odd kernel with stride 1.
+    pub fn same(k: usize) -> Self {
+        assert!(k % 2 == 1, "same-padding requires odd kernel");
+        Self { kh: k, kw: k, stride: 1, pad: k / 2 }
+    }
+}
+
+/// Unfold one `[C, H, W]` plane into a `[C*KH*KW, OH*OW]` column matrix.
+fn im2col_plane(plane: &[f32], c: usize, h: usize, w: usize, g: ConvGeom, cols: &mut [f32]) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    debug_assert_eq!(cols.len(), c * g.kh * g.kw * ncols);
+    for ci in 0..c {
+        let src = &plane[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = ((ci * g.kh + ky) * g.kw + kx) * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let drow = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        cols[drow..drow + ow].fill(0.0);
+                        continue;
+                    }
+                    let srow = iy as usize * w;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        cols[drow + ox] = if ix < 0 || ix >= w as isize { 0.0 } else { src[srow + ix as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fold a `[C*KH*KW, OH*OW]` column-gradient matrix back onto a `[C, H, W]`
+/// plane (the adjoint of [`im2col_plane`]): overlapping windows accumulate.
+fn col2im_plane(cols: &[f32], c: usize, h: usize, w: usize, g: ConvGeom, plane: &mut [f32]) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    for ci in 0..c {
+        let dst = &mut plane[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = ((ci * g.kh + ky) * g.kw + kx) * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let srow = iy as usize * w;
+                    let crow = row + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[srow + ix as usize] += cols[crow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution: `input [N,C,H,W] * weight [O,C,KH,KW] (+ bias [O])`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeom) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d input must be [N,C,H,W]");
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [O,C,KH,KW]");
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (o, wc, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(c, wc, "channel mismatch: input C={c}, weight C={wc}");
+    assert_eq!((kh, kw), (g.kh, g.kw), "weight kernel does not match geometry");
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[o], "bias must be [O]");
+    }
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    let krows = c * kh * kw;
+    let mut out = vec![0.0f32; n * o * ncols];
+    let src = input.data();
+    let wd = weight.data();
+    out.par_chunks_mut(o * ncols).enumerate().for_each(|(ni, dst)| {
+        // Per-sample scratch; allocated once per rayon task, not per pixel.
+        let mut cols = vec![0.0f32; krows * ncols];
+        im2col_plane(&src[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, &mut cols);
+        crate::matmul::matmul_block_seq(wd, &cols, dst, o, krows, ncols);
+        if let Some(b) = bias {
+            for (oc, chunk) in dst.chunks_mut(ncols).enumerate() {
+                let bv = b.data()[oc];
+                for x in chunk.iter_mut() {
+                    *x += bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(vec![n, o, oh, ow], out)
+}
+
+/// Gradient of the convolution output w.r.t. the input.
+pub fn conv2d_grad_input(grad_out: &Tensor, weight: &Tensor, input_shape: &[usize], g: ConvGeom) -> Tensor {
+    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let o = weight.shape()[0];
+    let (oh, ow) = g.out_size(h, w);
+    assert_eq!(grad_out.shape(), &[n, o, oh, ow]);
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    // wT: [krows, O]
+    let wt = weight.reshape(vec![o, krows]).transpose2();
+    let god = grad_out.data();
+    let wtd = wt.data();
+    let mut out = vec![0.0f32; n * c * h * w];
+    out.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, dst)| {
+        let mut cols = vec![0.0f32; krows * ncols];
+        matmul_slices_seq(wtd, &god[ni * o * ncols..(ni + 1) * o * ncols], &mut cols, krows, o, ncols);
+        col2im_plane(&cols, c, h, w, g, dst);
+    });
+    Tensor::from_vec(input_shape.to_vec(), out)
+}
+
+/// Gradient of the convolution output w.r.t. the weight.
+pub fn conv2d_grad_weight(grad_out: &Tensor, input: &Tensor, weight_shape: &[usize], g: ConvGeom) -> Tensor {
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let o = weight_shape[0];
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    let src = input.data();
+    let god = grad_out.data();
+    // Accumulate per-sample weight gradients in parallel, then reduce.
+    let partials: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
+        .map(|ni| {
+            let mut cols = vec![0.0f32; krows * ncols];
+            im2col_plane(&src[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, &mut cols);
+            // grad_w[o, krows] = grad_out[o, ncols] * cols^T[ncols, krows]
+            let mut colst = vec![0.0f32; ncols * krows];
+            for r in 0..krows {
+                for cc in 0..ncols {
+                    colst[cc * krows + r] = cols[r * ncols + cc];
+                }
+            }
+            let mut gw = vec![0.0f32; o * krows];
+            matmul_slices_seq(&god[ni * o * ncols..(ni + 1) * o * ncols], &colst, &mut gw, o, ncols, krows);
+            gw
+        })
+        .collect();
+    let mut total = vec![0.0f32; o * krows];
+    for p in partials {
+        for (t, x) in total.iter_mut().zip(p) {
+            *t += x;
+        }
+    }
+    Tensor::from_vec(weight_shape.to_vec(), total)
+}
+
+/// Gradient w.r.t. the bias: sum of `grad_out` over batch and space.
+pub fn conv2d_grad_bias(grad_out: &Tensor) -> Tensor {
+    let (n, o, oh, ow) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    let mut out = vec![0.0f32; o];
+    let god = grad_out.data();
+    for ni in 0..n {
+        for (oc, acc) in out.iter_mut().enumerate() {
+            let base = (ni * o + oc) * oh * ow;
+            *acc += god[base..base + oh * ow].iter().sum::<f32>();
+        }
+    }
+    Tensor::from_vec(vec![o], out)
+}
+
+fn matmul_slices_seq(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    // Thin wrapper so call sites inside rayon tasks stay sequential.
+    crate::matmul::matmul_block_seq(a, b, c, m, k, n);
+}
+
+/// Parallel (outer) convenience used by tests comparing against the blocked kernel.
+#[allow(dead_code)]
+fn matmul_par(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_slices(a, b, c, m, k, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn;
+
+    fn conv_naive(input: &Tensor, weight: &Tensor, g: ConvGeom) -> Tensor {
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let o = weight.shape()[0];
+        let (oh, ow) = g.out_size(h, w);
+        let mut out = Tensor::zeros(vec![n, o, oh, ow]);
+        for ni in 0..n {
+            for oc in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..g.kh {
+                                for kx in 0..g.kw {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        s += input.at(&[ni, ci, iy as usize, ix as usize])
+                                            * weight.at(&[oc, ci, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, oc, oy, ox], s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_same_padding() {
+        let g = ConvGeom::same(3);
+        let x = randn(&[2, 3, 7, 9], 1);
+        let w = randn(&[4, 3, 3, 3], 2);
+        let fast = conv2d(&x, &w, None, g);
+        let slow = conv_naive(&x, &w, g);
+        fast.assert_close(&slow, 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_strided() {
+        let g = ConvGeom { kh: 2, kw: 2, stride: 2, pad: 0 };
+        let x = randn(&[1, 2, 8, 8], 3);
+        let w = randn(&[5, 2, 2, 2], 4);
+        conv2d(&x, &w, None, g).assert_close(&conv_naive(&x, &w, g), 1e-4);
+    }
+
+    #[test]
+    fn bias_shifts_each_channel() {
+        let g = ConvGeom::same(1);
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        let w = Tensor::ones(vec![2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![2], vec![1.0, -2.0]);
+        let y = conv2d(&x, &w, Some(&b), g);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]), -2.0);
+    }
+
+    #[test]
+    fn grad_input_matches_finite_difference() {
+        let g = ConvGeom::same(3);
+        let x = randn(&[1, 2, 5, 5], 5);
+        let w = randn(&[3, 2, 3, 3], 6);
+        let y = conv2d(&x, &w, None, g);
+        // Loss = sum(y); dL/dy = ones.
+        let go = Tensor::ones(y.shape().to_vec());
+        let gi = conv2d_grad_input(&go, &w, x.shape(), g);
+        let eps = 1e-2;
+        for &probe in &[0usize, 7, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let fd = (conv2d(&xp, &w, None, g).sum() - conv2d(&xm, &w, None, g).sum()) / (2.0 * eps);
+            assert!((gi.data()[probe] - fd).abs() < 1e-2, "probe {probe}: {} vs {}", gi.data()[probe], fd);
+        }
+    }
+
+    #[test]
+    fn grad_weight_matches_finite_difference() {
+        let g = ConvGeom::same(3);
+        let x = randn(&[2, 2, 4, 4], 7);
+        let w = randn(&[2, 2, 3, 3], 8);
+        let y = conv2d(&x, &w, None, g);
+        let go = Tensor::ones(y.shape().to_vec());
+        let gw = conv2d_grad_weight(&go, &x, w.shape(), g);
+        let eps = 1e-2;
+        for &probe in &[0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[probe] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[probe] -= eps;
+            let fd = (conv2d(&x, &wp, None, g).sum() - conv2d(&x, &wm, None, g).sum()) / (2.0 * eps);
+            assert!((gw.data()[probe] - fd).abs() < 2e-2, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn grad_bias_sums_spatially() {
+        let go = Tensor::ones(vec![2, 3, 4, 4]);
+        let gb = conv2d_grad_bias(&go);
+        assert_eq!(gb.data(), &[32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn out_size_arithmetic() {
+        let g = ConvGeom { kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!(g.out_size(10, 20), (10, 20));
+        let g2 = ConvGeom { kh: 2, kw: 2, stride: 2, pad: 0 };
+        assert_eq!(g2.out_size(10, 20), (5, 10));
+    }
+}

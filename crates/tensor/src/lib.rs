@@ -1,0 +1,40 @@
+//! # orbit2-tensor
+//!
+//! A from-scratch, CPU-only tensor library used as the numerical substrate of
+//! the ORBIT-2 reproduction. The paper's implementation sits on PyTorch/ROCm;
+//! this crate provides the equivalent primitives in safe Rust:
+//!
+//! * dense row-major [`Tensor`]s of `f32` with NumPy-style broadcasting,
+//! * rayon-parallel blocked [`matmul`](Tensor::matmul) and batched matmul,
+//! * `conv2d` / transposed convolution via im2col (the residual path of
+//!   Reslim is convolutional),
+//! * bilinear / nearest resize and area-average downsampling (the
+//!   upsample-first baseline ViT and the synthetic data pipeline),
+//! * naive and Flash-Attention-style cache-blocked attention kernels
+//!   ([`attention`]),
+//! * BF16 emulation ([`bf16`]) used by the mixed-precision trainer.
+//!
+//! Design follows the HPC-parallel guides for this repo: flat `Vec<f32>`
+//! storage, no allocation inside hot loops, `rayon` parallel iterators over
+//! row blocks, and deterministic seeded randomness.
+
+pub mod attention;
+pub mod bf16;
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod random;
+pub mod resize;
+pub mod shape;
+pub mod tensor;
+
+pub use attention::{flash_attention, naive_attention, AttentionConfig};
+pub use bf16::{bf16_round, Bf16Mode};
+pub use shape::{broadcast_shapes, strides_for, Shape};
+pub use tensor::Tensor;
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::attention::{flash_attention, naive_attention};
+    pub use crate::tensor::Tensor;
+}

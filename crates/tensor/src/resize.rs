@@ -1,0 +1,185 @@
+//! Spatial resampling: bilinear / nearest upsampling and area-average
+//! downsampling.
+//!
+//! These are the "interpolation" upsampling used by the baseline
+//! upsample-first foundation-model architecture (paper Fig. 1) and the
+//! coarsening operator that builds the paired coarse→fine training samples
+//! from a synthetic high-resolution field (paper Table I).
+//!
+//! Tensors are interpreted as `[..., H, W]`: any leading axes are treated as
+//! independent channels.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Interpolation mode for [`resize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeMode {
+    /// Nearest-neighbour sampling.
+    Nearest,
+    /// Bilinear with half-pixel centers (align_corners = false).
+    Bilinear,
+}
+
+/// Resize the trailing two axes of `t` to `(out_h, out_w)`.
+pub fn resize(t: &Tensor, out_h: usize, out_w: usize, mode: ResizeMode) -> Tensor {
+    let nd = t.ndim();
+    assert!(nd >= 2, "resize requires at least 2 axes");
+    let h = t.shape()[nd - 2];
+    let w = t.shape()[nd - 1];
+    let lead: usize = t.shape()[..nd - 2].iter().product();
+    let src = t.data();
+    let mut out = vec![0.0f32; lead * out_h * out_w];
+    let sy = h as f32 / out_h as f32;
+    let sx = w as f32 / out_w as f32;
+    out.par_chunks_mut(out_h * out_w).enumerate().for_each(|(l, dst)| {
+        let plane = &src[l * h * w..(l + 1) * h * w];
+        match mode {
+            ResizeMode::Nearest => {
+                for oy in 0..out_h {
+                    let iy = (((oy as f32 + 0.5) * sy) as usize).min(h - 1);
+                    for ox in 0..out_w {
+                        let ix = (((ox as f32 + 0.5) * sx) as usize).min(w - 1);
+                        dst[oy * out_w + ox] = plane[iy * w + ix];
+                    }
+                }
+            }
+            ResizeMode::Bilinear => {
+                for oy in 0..out_h {
+                    let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+                    let y0 = fy.floor() as usize;
+                    let y1 = (y0 + 1).min(h - 1);
+                    let wy = fy - y0 as f32;
+                    for ox in 0..out_w {
+                        let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+                        let x0 = fx.floor() as usize;
+                        let x1 = (x0 + 1).min(w - 1);
+                        let wx = fx - x0 as f32;
+                        let v00 = plane[y0 * w + x0];
+                        let v01 = plane[y0 * w + x1];
+                        let v10 = plane[y1 * w + x0];
+                        let v11 = plane[y1 * w + x1];
+                        dst[oy * out_w + ox] = v00 * (1.0 - wy) * (1.0 - wx)
+                            + v01 * (1.0 - wy) * wx
+                            + v10 * wy * (1.0 - wx)
+                            + v11 * wy * wx;
+                    }
+                }
+            }
+        }
+    });
+    let mut shape = t.shape().to_vec();
+    shape[nd - 2] = out_h;
+    shape[nd - 1] = out_w;
+    Tensor::from_vec(shape, out)
+}
+
+/// Area-average downsample by integer `factor` along the trailing two axes.
+///
+/// This is the physically-correct coarsening operator for conservative
+/// quantities (e.g. precipitation flux): the coarse cell is the mean of the
+/// fine cells it covers.
+pub fn downsample_area(t: &Tensor, factor: usize) -> Tensor {
+    assert!(factor >= 1);
+    let nd = t.ndim();
+    assert!(nd >= 2);
+    let h = t.shape()[nd - 2];
+    let w = t.shape()[nd - 1];
+    assert_eq!(h % factor, 0, "height {h} not divisible by {factor}");
+    assert_eq!(w % factor, 0, "width {w} not divisible by {factor}");
+    let (oh, ow) = (h / factor, w / factor);
+    let lead: usize = t.shape()[..nd - 2].iter().product();
+    let src = t.data();
+    let inv = 1.0 / (factor * factor) as f32;
+    let mut out = vec![0.0f32; lead * oh * ow];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(l, dst)| {
+        let plane = &src[l * h * w..(l + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut s = 0.0f32;
+                for dy in 0..factor {
+                    let row = (oy * factor + dy) * w + ox * factor;
+                    for dx in 0..factor {
+                        s += plane[row + dx];
+                    }
+                }
+                dst[oy * ow + ox] = s * inv;
+            }
+        }
+    });
+    let mut shape = t.shape().to_vec();
+    shape[nd - 2] = oh;
+    shape[nd - 1] = ow;
+    Tensor::from_vec(shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_upsample_2x_repeats() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let u = resize(&t, 4, 4, ResizeMode::Nearest);
+        assert_eq!(u.at(&[0, 0]), 1.0);
+        assert_eq!(u.at(&[0, 1]), 1.0);
+        assert_eq!(u.at(&[3, 3]), 4.0);
+        assert_eq!(u.at(&[2, 0]), 3.0);
+    }
+
+    #[test]
+    fn bilinear_constant_field_is_preserved() {
+        let t = Tensor::full(vec![3, 5], 2.5);
+        let u = resize(&t, 9, 10, ResizeMode::Bilinear);
+        for &x in u.data() {
+            assert!((x - 2.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bilinear_preserves_linear_ramp_interior() {
+        // A linear ramp should be exactly reproduced away from the border.
+        let w = 8usize;
+        let t = Tensor::from_vec(vec![1, w], (0..w).map(|i| i as f32).collect());
+        let u = resize(&t, 1, 2 * w, ResizeMode::Bilinear);
+        // interior sample at output x=5 maps to input 2.25
+        let expect = (5 as f32 + 0.5) * 0.5 - 0.5;
+        assert!((u.at(&[0, 5]) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn area_downsample_averages_blocks() {
+        let t = Tensor::from_vec(vec![2, 4], vec![1., 3., 5., 7., 2., 4., 6., 8.]);
+        let d = downsample_area(&t, 2);
+        assert_eq!(d.shape(), &[1, 2]);
+        assert_eq!(d.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn area_downsample_conserves_mean() {
+        use crate::random::randn;
+        let t = randn(&[3, 16, 16], 11);
+        let d = downsample_area(&t, 4);
+        assert!((t.mean() - d.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn resize_handles_leading_axes() {
+        let t = Tensor::arange(2 * 2 * 2).reshape(vec![2, 2, 2]);
+        let u = resize(&t, 4, 4, ResizeMode::Nearest);
+        assert_eq!(u.shape(), &[2, 4, 4]);
+        // Channel 1 upper-left block equals channel 1 source (0,0) = 4.
+        assert_eq!(u.at(&[1, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn downsample_then_upsample_is_smooth_approximation() {
+        use crate::random::randn;
+        let t = randn(&[1, 8, 8], 3);
+        let d = downsample_area(&t, 2);
+        let u = resize(&d, 8, 8, ResizeMode::Bilinear);
+        assert_eq!(u.shape(), t.shape());
+        // Means should match closely (both operators are averaging).
+        assert!((u.mean() - t.mean()).abs() < 0.2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The dense `f32` tensor type.
+
+use crate::shape::{numel, strides_for, Shape};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32`.
+///
+/// All kernels in this crate operate on contiguous storage; views are
+/// materialized explicitly (e.g. [`Tensor::permute`]) which keeps every hot
+/// loop a linear scan — the access pattern the perf-book guide favours.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            data.len(),
+            "shape {:?} wants {} elements, got {}",
+            shape,
+            numel(&shape),
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// All-zero tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// All-one tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        Self { shape, data: vec![value; n] }
+    }
+
+    /// 0-d scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![], data: vec![value] }
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-d tensor.
+    pub fn arange(n: usize) -> Self {
+        Self { shape: vec![n], data: (0..n).map(|i| i as f32).collect() }
+    }
+
+    /// The shape (axis extents, outermost first).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value of a 0-d or single-element tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional coordinate.
+    pub fn at(&self, coord: &[usize]) -> f32 {
+        self.data[crate::shape::ravel(coord, &self.shape)]
+    }
+
+    /// Set the element at a multi-dimensional coordinate.
+    pub fn set(&mut self, coord: &[usize], value: f32) {
+        let i = crate::shape::ravel(coord, &self.shape);
+        self.data[i] = value;
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Self { shape, data: self.data.clone() }
+    }
+
+    /// Like [`Tensor::reshape`] but consumes `self` (no copy).
+    pub fn into_reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(numel(&shape), self.data.len(), "reshape changes element count");
+        self.shape = shape;
+        self
+    }
+
+    /// Row-major strides of this tensor.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+
+    /// Apply `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Apply `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combine two same-shaped tensors elementwise.
+    ///
+    /// For broadcasting semantics use the arithmetic ops in [`crate::ops`].
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip requires identical shapes");
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute elementwise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Assert elementwise closeness with absolute tolerance; for tests.
+    pub fn assert_close(&self, other: &Self, tol: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let d = self.max_abs_diff(other);
+        assert!(d <= tol, "tensors differ by {d} > tol {tol}");
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, .., {:.4}] ({} elems)",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[0, 2]), 3.0);
+        assert_eq!(t.at(&[1, 0]), 4.0);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_bad_len_panics() {
+        Tensor::from_vec(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(vec![2, 3]);
+        assert_eq!(t.at(&[1, 1]), 4.0);
+        let back = t.into_reshape(vec![6]);
+        assert_eq!(back.data(), &[0., 1., 2., 3., 4., 5.]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.data(), &[2., 4., 6.]);
+        let c = a.zip(&b, |x, y| y - x);
+        assert_eq!(c.data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(7.5).item(), 7.5);
+    }
+
+    #[test]
+    fn set_then_at() {
+        let mut t = Tensor::zeros(vec![2, 2]);
+        t.set(&[1, 0], 9.0);
+        assert_eq!(t.at(&[1, 0]), 9.0);
+        assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+}

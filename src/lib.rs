@@ -1,0 +1,20 @@
+//! ORBIT-2 reproduction — workspace root crate.
+//!
+//! The implementation lives in `crates/`:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `orbit2-tensor` | CPU tensor library (matmul, conv, attention, resize) |
+//! | `orbit2-autograd` | reverse-mode autodiff, optimizers, grad scaling |
+//! | `orbit2-fft` | FFTs and power spectra |
+//! | `orbit2-imaging` | Canny, quad-tree patching, tile/halo geometry |
+//! | `orbit2-climate` | synthetic ERA5/DAYMET/IMERG-like data substrate |
+//! | `orbit2-metrics` | R², RMSE, quantile RMSE, SSIM, PSNR |
+//! | `orbit2-cluster` | Frontier-like performance simulator |
+//! | `orbit2-parallel` | DDP / FSDP / tensor / TILES parallelism models |
+//! | `orbit2-model` | Reslim + baseline ViT architectures |
+//! | `orbit2` | trainer, inference, planner — the public API |
+//! | `orbit2-bench` | `repro` binary + criterion benches |
+//!
+//! This package hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`).

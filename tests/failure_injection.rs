@@ -1,0 +1,138 @@
+//! Failure-injection tests: the training stack must degrade gracefully
+//! under numerical blow-ups, corrupt checkpoints and pathological inputs.
+
+use orbit2::trainer::{Trainer, TrainerConfig};
+use orbit2_climate::{DownscalingDataset, LatLonGrid, VariableSet};
+use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_tensor::Tensor;
+
+fn dataset() -> DownscalingDataset {
+    DownscalingDataset::new(LatLonGrid::conus(16, 32), VariableSet::daymet_like(), 4, 20, 3)
+}
+
+#[test]
+fn absurd_learning_rate_never_poisons_parameters() {
+    // An exploding configuration: gigantic LR. Steps that produce
+    // non-finite gradients must be skipped, leaving parameters finite.
+    let ds = dataset();
+    let cfg = TrainerConfig { steps: 10, lr: 1e12, warmup: 0, log_every: 1, ..Default::default() };
+    let mut trainer = Trainer::new(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 1), &ds, cfg);
+    trainer.train(&ds);
+    for (name, t) in trainer.model.params.iter() {
+        assert!(t.all_finite(), "parameter {name} went non-finite");
+    }
+}
+
+#[test]
+fn bf16_scaler_recovers_from_overflow() {
+    // BF16 + huge initial loss scale: overflow steps are skipped, the scale
+    // backs off, and training proceeds with finite parameters.
+    let ds = dataset();
+    let cfg = TrainerConfig { steps: 15, lr: 5e-3, warmup: 2, bf16: true, log_every: 5, ..Default::default() };
+    let mut trainer = Trainer::new(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 2), &ds, cfg);
+    let report = trainer.train(&ds);
+    assert!(report.final_loss.is_finite());
+    for (name, t) in trainer.model.params.iter() {
+        assert!(t.all_finite(), "parameter {name} went non-finite under bf16");
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_not_loaded() {
+    let dir = std::env::temp_dir().join("orbit2_corrupt_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("config.json"), "{not valid json").unwrap();
+    std::fs::write(dir.join("params.json"), "{}").unwrap();
+    assert!(orbit2::checkpoint::load_model(&dir).is_err());
+}
+
+#[test]
+fn missing_checkpoint_directory_errors_cleanly() {
+    let dir = std::env::temp_dir().join("orbit2_no_such_ckpt_dir_xyz");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(orbit2::checkpoint::load_model(&dir).is_err());
+}
+
+#[test]
+fn inference_with_nan_input_does_not_panic() {
+    // Garbage in the input field must not crash the tiled pipeline; the
+    // output may be NaN but the code path survives.
+    let ds = dataset();
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 4);
+    let norm = orbit2_climate::Normalizer::fit(&ds, 2);
+    let mut input = ds.sample(0).input;
+    input.data_mut()[0] = f32::NAN;
+    let pred = orbit2::inference::downscale(&model, &norm, &input, None, 1.0);
+    assert_eq!(pred.shape(), ds.sample(0).target.shape());
+}
+
+#[test]
+fn extreme_compression_target_still_partitions() {
+    // A compression target far beyond what the field supports must clamp
+    // gracefully, not panic or drop tokens.
+    let ds = dataset();
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 5);
+    let norm = orbit2_climate::Normalizer::fit(&ds, 2);
+    let s = ds.sample(1);
+    let pred = orbit2::inference::downscale(&model, &norm, &s.input, None, 1000.0);
+    assert_eq!(pred.shape(), s.target.shape());
+    assert!(pred.all_finite());
+}
+
+#[test]
+fn constant_input_channel_survives_normalization() {
+    // Static channels (e.g. a land mask that is all-land in a small region)
+    // have ~zero variance; the normalizer's std floor must keep everything
+    // finite end to end.
+    let ds = dataset();
+    let norm = orbit2_climate::Normalizer::fit(&ds, 2);
+    let mut input = ds.sample(0).input;
+    // Force one channel constant.
+    let plane = input.shape()[1] * input.shape()[2];
+    for v in &mut input.data_mut()[..plane] {
+        *v = 0.5;
+    }
+    let n = norm.normalize_input(&input);
+    assert!(n.all_finite());
+}
+
+#[test]
+fn zero_tv_weight_and_huge_tv_weight_both_train() {
+    let ds = dataset();
+    for tv in [0.0f32, 10.0] {
+        let cfg = TrainerConfig {
+            steps: 6,
+            lr: 1e-3,
+            warmup: 1,
+            log_every: 2,
+            loss: orbit2_model::BayesianLossCfg { tv_weight: tv, ..Default::default() },
+            ..Default::default()
+        };
+        let mut trainer =
+            Trainer::new(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 6), &ds, cfg);
+        let report = trainer.train(&ds);
+        assert!(report.final_loss.is_finite(), "tv_weight {tv} broke training");
+    }
+}
+
+#[test]
+fn evaluate_on_single_sample_works() {
+    // Smallest possible evaluation set.
+    let ds = dataset();
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 7);
+    let norm = orbit2_climate::Normalizer::fit(&ds, 2);
+    let reports = orbit2::eval::evaluate_model(&model, &norm, &ds, &[19], None, 1.0);
+    assert_eq!(reports.len(), 3);
+    for r in reports {
+        assert!(r.report.rmse.is_finite());
+    }
+}
+
+#[test]
+fn tensor_ops_reject_shape_abuse() {
+    use std::panic::catch_unwind;
+    assert!(catch_unwind(|| Tensor::zeros(vec![2, 2]).matmul(&Tensor::zeros(vec![3, 2]))).is_err());
+    assert!(catch_unwind(|| Tensor::zeros(vec![2]).add(&Tensor::zeros(vec![3]))).is_err());
+    assert!(catch_unwind(|| Tensor::zeros(vec![4]).reshape(vec![3])).is_err());
+    assert!(catch_unwind(|| Tensor::zeros(vec![2, 2]).slice_axis(0, 1, 5)).is_err());
+}

@@ -1,0 +1,184 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use orbit2_fft::complex::Complex;
+use orbit2_fft::{fft, ifft};
+use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
+use orbit2_imaging::tiles::{split_into_tiles, stitch_tiles, TileSpec};
+use orbit2_metrics::regression::{r2_score, rmse};
+use orbit2_metrics::ssim::ssim;
+use orbit2_tensor::attention::{flash_attention, naive_attention, AttentionConfig};
+use orbit2_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_field(max_hw: usize) -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (2usize..max_hw, 2usize..max_hw).prop_flat_map(|(h, w)| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, h * w),
+            Just(h),
+            Just(w),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(values in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+        let mut x: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let orig = x.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tile_split_stitch_is_identity((field, h, w) in small_field(24), ty in 1usize..4, tx in 1usize..4, halo in 0usize..3) {
+        prop_assume!(ty <= h && tx <= w);
+        let spec = TileSpec { tiles_y: ty, tiles_x: tx, halo };
+        let tiles = split_into_tiles(&field, h, w, spec);
+        let back = stitch_tiles(&tiles, h, w);
+        prop_assert_eq!(back, field);
+    }
+
+    #[test]
+    fn quadtree_always_partitions_exactly((field, h, w) in small_field(32), thresh in 0.0f32..0.5) {
+        let params = QuadTreeParams { density_threshold: thresh, ..Default::default() };
+        let qt = QuadTree::build(&field, h, w, params);
+        prop_assert!(qt.is_exact_partition());
+        prop_assert!(qt.token_count() >= 1);
+        prop_assert!(qt.token_count() <= h * w);
+    }
+
+    #[test]
+    fn flash_equals_naive_attention(s in 2usize..40, d in 1usize..16, bq in 1usize..16, bk in 1usize..16, seed in 0u64..1000) {
+        let q = orbit2_tensor::random::randn(&[s, d], seed);
+        let k = orbit2_tensor::random::randn(&[s, d], seed + 1);
+        let v = orbit2_tensor::random::randn(&[s, d], seed + 2);
+        let a = naive_attention(&q, &k, &v);
+        let b = flash_attention(&q, &k, &v, AttentionConfig { block_q: bq, block_kv: bk });
+        prop_assert!(a.max_abs_diff(&b) < 1e-3);
+    }
+
+    #[test]
+    fn ssim_bounded_and_identity((field, h, w) in small_field(20)) {
+        let s_self = ssim(&field, &field, h, w);
+        prop_assert!((s_self - 1.0).abs() < 1e-6);
+        let other: Vec<f32> = field.iter().map(|&x| -x + 1.0).collect();
+        let s = ssim(&other, &field, h, w);
+        prop_assert!((-1.0001..=1.0001).contains(&s));
+    }
+
+    #[test]
+    fn r2_identity_and_rmse_nonnegative(values in proptest::collection::vec(-50.0f32..50.0, 2..128), noise in 0.0f32..5.0) {
+        prop_assume!(values.iter().any(|&v| (v - values[0]).abs() > 1e-3));
+        prop_assert!((r2_score(&values, &values) - 1.0).abs() < 1e-9);
+        let pred: Vec<f32> = values.iter().enumerate().map(|(i, &v)| v + noise * ((i % 3) as f32 - 1.0)).collect();
+        prop_assert!(rmse(&pred, &values) >= 0.0);
+        prop_assert!(r2_score(&pred, &values) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn broadcasting_add_commutes(a_rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {
+        let a = orbit2_tensor::random::randn(&[a_rows, cols], seed);
+        let b = orbit2_tensor::random::randn(&[cols], seed + 1);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn area_downsample_conserves_mean((field, _h, _w) in small_field(16)) {
+        // Use an even-sized field derived from the generated one.
+        let h2 = 8usize;
+        let w2 = 8usize;
+        let mut data = vec![0.0f32; h2 * w2];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = field[i % field.len()];
+        }
+        let t = Tensor::from_vec(vec![1, h2, w2], data);
+        let d = orbit2_tensor::resize::downsample_area(&t, 2);
+        prop_assert!((t.mean() - d.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn latitude_weights_mean_one(h in 2usize..64, w in 1usize..8) {
+        let g = orbit2_climate::LatLonGrid::global(h, w);
+        let weights = g.latitude_weights();
+        let mean: f32 = weights.iter().sum::<f32>() / weights.len() as f32;
+        prop_assert!((mean - 1.0).abs() < 1e-4);
+        prop_assert!(weights.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        let a = orbit2_tensor::random::randn(&[m, k], seed);
+        let b = orbit2_tensor::random::randn(&[k, n], seed + 1);
+        let c = orbit2_tensor::random::randn(&[k, n], seed + 2);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn conv2d_is_linear_in_input(hw in 4usize..10, seed in 0u64..100, alpha in -3.0f32..3.0) {
+        use orbit2_tensor::conv::{conv2d, ConvGeom};
+        let x = orbit2_tensor::random::randn(&[1, 2, hw, hw], seed);
+        let w = orbit2_tensor::random::randn(&[3, 2, 3, 3], seed + 1);
+        let g = ConvGeom::same(3);
+        let scaled_out = conv2d(&x.mul_scalar(alpha), &w, None, g);
+        let out_scaled = conv2d(&x, &w, None, g).mul_scalar(alpha);
+        prop_assert!(scaled_out.max_abs_diff(&out_scaled) < 1e-3);
+    }
+
+    #[test]
+    fn autograd_gradients_are_linear_in_loss_scale(seed in 0u64..200, scale in 0.1f32..8.0) {
+        use orbit2_autograd::Tape;
+        let x0 = orbit2_tensor::random::randn(&[5], seed);
+        let grad_at = |s: f32| {
+            let tape = Tape::new();
+            let x = tape.leaf(x0.clone());
+            let loss = x.gelu().square().sum().scale(s);
+            tape.backward(loss).get(x).unwrap().clone()
+        };
+        let g1 = grad_at(1.0);
+        let gs = grad_at(scale);
+        prop_assert!(gs.max_abs_diff(&g1.mul_scalar(scale)) < 1e-3 * (1.0 + scale));
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..8, c in 1usize..8, seed in 0u64..100) {
+        let a = orbit2_tensor::random::randn(&[r, c], seed);
+        let roundtrip = a.transpose2().transpose2();
+        prop_assert_eq!(roundtrip.data(), a.data());
+    }
+
+    #[test]
+    fn bf16_round_is_idempotent_and_bounded(values in proptest::collection::vec(-1e6f32..1e6, 1..64)) {
+        use orbit2_tensor::bf16::bf16_round;
+        for &v in &values {
+            let q = bf16_round(v);
+            prop_assert_eq!(bf16_round(q), q);
+            if v != 0.0 {
+                prop_assert!(((q - v) / v).abs() <= 1.0 / 256.0);
+            }
+        }
+    }
+
+    #[test]
+    fn grad_scaler_unscale_is_inverse(scale_pow in 1u32..16, values in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+        use orbit2_autograd::GradScaler;
+        let scale = (1u32 << scale_pow) as f32;
+        let mut scaler = GradScaler::new(scale);
+        let mut grads = orbit2_autograd::params::GradMap::new();
+        let n = values.len();
+        let scaled: Vec<f32> = values.iter().map(|&v| v * scale).collect();
+        grads.insert("w".into(), Tensor::from_vec(vec![n], scaled));
+        prop_assert!(scaler.unscale_and_check(&mut grads));
+        for (a, b) in grads["w"].data().iter().zip(&values) {
+            prop_assert!((a - b).abs() <= 1e-2 * (1.0 + b.abs()));
+        }
+    }
+}
