@@ -3,6 +3,7 @@
 
 use crate::tape::{Tape, Var};
 use orbit2_tensor::conv::{conv2d, conv2d_grad_bias, conv2d_grad_input, conv2d_grad_weight, ConvGeom};
+use orbit2_tensor::pool;
 use orbit2_tensor::resize::{resize, ResizeMode};
 use orbit2_tensor::Tensor;
 
@@ -28,7 +29,7 @@ impl<'t> Var<'t> {
         let rows = v.len() / d;
 
         // Forward: normalize each row.
-        let mut norm = vec![0.0f32; v.len()];
+        let mut norm = pool::alloc_uninit(v.len());
         let mut inv_std = vec![0.0f32; rows];
         let src = v.data();
         for r in 0..rows {
@@ -55,7 +56,7 @@ impl<'t> Var<'t> {
                 // d/dx of x_hat: (g - mean(g) - x_hat * mean(g * x_hat)) * inv_std
                 let gd = g.data();
                 let nd = norm_c.data();
-                let mut out = vec![0.0f32; gd.len()];
+                let mut out = pool::alloc_uninit(gd.len());
                 for r in 0..rows {
                     let gs = &gd[r * d..(r + 1) * d];
                     let ns = &nd[r * d..(r + 1) * d];
@@ -120,7 +121,7 @@ impl<'t> Var<'t> {
         let v = self.value();
         assert_eq!(v.ndim(), 2, "pool_rows requires 2-d [tokens, dim]");
         let (rows, cols) = (v.shape()[0], v.shape()[1]);
-        let mut out = vec![0.0f32; groups.len() * cols];
+        let mut out = pool::alloc_zeroed(groups.len() * cols);
         let src = v.data();
         for (gi, group) in groups.iter().enumerate() {
             assert!(!group.is_empty(), "empty pooling group {gi}");
@@ -140,7 +141,7 @@ impl<'t> Var<'t> {
             self_tracked(self),
             Box::new(move |g| {
                 let gd = g.data();
-                let mut out = vec![0.0f32; rows * cols];
+                let mut out = pool::alloc_zeroed(rows * cols);
                 for (gi, group) in groups.iter().enumerate() {
                     let inv = 1.0 / group.len() as f32;
                     let gs = &gd[gi * cols..(gi + 1) * cols];
@@ -163,7 +164,7 @@ impl<'t> Var<'t> {
         assert_eq!(v.ndim(), 2);
         assert_eq!(v.shape()[0], groups.len());
         let cols = v.shape()[1];
-        let mut out = vec![0.0f32; total_rows * cols];
+        let mut out = pool::alloc_zeroed(total_rows * cols);
         let src = v.data();
         for (gi, group) in groups.iter().enumerate() {
             let s = &src[gi * cols..(gi + 1) * cols];
@@ -180,7 +181,7 @@ impl<'t> Var<'t> {
             self_tracked(self),
             Box::new(move |g| {
                 let gd = g.data();
-                let mut out = vec![0.0f32; n_groups * cols];
+                let mut out = pool::alloc_zeroed(n_groups * cols);
                 for (gi, group) in groups.iter().enumerate() {
                     let dst = &mut out[gi * cols..(gi + 1) * cols];
                     for &r in group {
@@ -205,7 +206,7 @@ pub fn bilinear_adjoint(grad_out: &Tensor, in_h: usize, in_w: usize) -> Tensor {
     let sy = in_h as f32 / oh as f32;
     let sx = in_w as f32 / ow as f32;
     let god = grad_out.data();
-    let mut out = vec![0.0f32; lead * in_h * in_w];
+    let mut out = pool::alloc_zeroed(lead * in_h * in_w);
     for l in 0..lead {
         let gplane = &god[l * oh * ow..(l + 1) * oh * ow];
         let oplane = &mut out[l * in_h * in_w..(l + 1) * in_h * in_w];

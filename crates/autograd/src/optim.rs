@@ -41,15 +41,12 @@ impl Optimizer for Sgd {
                     .velocity
                     .entry(name.clone())
                     .or_insert_with(|| Tensor::zeros(value.shape().to_vec()));
-                *v = v.mul_scalar(self.momentum).add(g);
-                let vd = v.data();
-                for (p, &gv) in value.data_mut().iter_mut().zip(vd) {
-                    *p -= self.lr * gv;
-                }
+                // v = momentum * v + g, updated in place across steps.
+                v.scale_(self.momentum);
+                v.add_(g);
+                value.axpy(-self.lr, v);
             } else {
-                for (p, &gv) in value.data_mut().iter_mut().zip(g.data()) {
-                    *p -= self.lr * gv;
-                }
+                value.axpy(-self.lr, g);
             }
         }
     }

@@ -117,14 +117,17 @@ pub fn average_grad_maps(maps: &[GradMap]) -> GradMap {
     let inv = 1.0 / maps.len() as f32;
     let mut out = GradMap::new();
     for key in maps[0].keys() {
+        // COW handle onto the first map's gradient; the first `add_` faults
+        // it into a private buffer and every later tile accumulates in place.
         let mut acc = maps[0][key].clone();
         for m in &maps[1..] {
             let g = m
                 .get(key)
                 .unwrap_or_else(|| panic!("gradient map missing key {key}"));
-            acc = acc.add(g);
+            acc.add_(g);
         }
-        out.insert(key.clone(), acc.mul_scalar(inv));
+        acc.scale_(inv);
+        out.insert(key.clone(), acc);
     }
     out
 }

@@ -42,6 +42,9 @@ impl Gradients {
     }
 
     /// The gradient, or a zero tensor of the var's shape when none flowed.
+    ///
+    /// When a gradient exists this is allocation-free: the clone is a COW
+    /// handle onto the stored tensor, not a copy.
     pub fn get_or_zero(&self, var: Var<'_>) -> Tensor {
         match self.get(var) {
             Some(g) => g.clone(),
@@ -110,7 +113,11 @@ impl Tape {
                         continue;
                     }
                     match &mut grads[pid] {
-                        Some(acc) => *acc = acc.add(&contrib),
+                        // In-place accumulate: the only copy this can trigger
+                        // is a COW fault when the accumulator still shares
+                        // storage (e.g. a pass-through gradient); fan-in
+                        // beyond that reuses the faulted buffer.
+                        Some(acc) => acc.add_(&contrib),
                         slot @ None => *slot = Some(contrib),
                     }
                 }
@@ -605,6 +612,23 @@ mod tests {
         let tape = Tape::new();
         let a = tape.leaf(randn(&[3], 1));
         let _ = tape.backward(a);
+    }
+
+    #[test]
+    fn backward_chain_does_no_deep_copies() {
+        // Interior nodes hand their gradients along as COW handles; a pure
+        // chain must finish backward without a single full-tensor copy.
+        let tape = Tape::new();
+        let a = tape.leaf(randn(&[64, 64], 17));
+        let loss = a.scale(2.0).shift(1.0).tanh().mean();
+        orbit2_tensor::pool::reset_stats();
+        let g = tape.backward(loss);
+        assert!(g.get(a).is_some());
+        assert_eq!(
+            orbit2_tensor::pool::stats().copies,
+            0,
+            "interior-node backward must not deep-copy tensors"
+        );
     }
 
     #[test]

@@ -90,13 +90,16 @@ fn apply(stack: &Tensor, stats: &[ChannelStats], invert: bool) -> Tensor {
     let c = stack.shape()[0];
     assert_eq!(c, stats.len(), "channel count mismatch");
     let plane = stack.len() / c;
-    let mut out = stack.data().to_vec();
+    // COW handle: the first mutation faults into a pooled private buffer and
+    // the shape handle is shared, so no shape vec or explicit copy here.
+    let mut out = stack.clone();
+    let data = out.data_mut();
     for (ci, st) in stats.iter().enumerate() {
-        for v in &mut out[ci * plane..(ci + 1) * plane] {
+        for v in &mut data[ci * plane..(ci + 1) * plane] {
             *v = if invert { *v * st.std + st.mean } else { (*v - st.mean) / st.std };
         }
     }
-    Tensor::from_vec(stack.shape().to_vec(), out)
+    out
 }
 
 /// Empirical quantile mapping: transform `source` values so their CDF

@@ -370,7 +370,7 @@ mod tests {
         assert!(p.iter().all(|&v| v >= 0.0));
         let mean: f32 = p.iter().sum::<f32>() / p.len() as f32;
         let median = {
-            let mut s = p.clone();
+            let mut s = p;
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             s[s.len() / 2]
         };

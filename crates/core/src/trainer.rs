@@ -230,12 +230,12 @@ fn crop_weights(lat_field: &Tensor, tile: &crate::tiling::SampleTile, factor: us
     let (fh, fw) = (lat_field.shape()[0], lat_field.shape()[1]);
     let g = tile.geom.scaled(factor);
     let (ph, pw) = (g.padded_h(), g.padded_w());
-    let mut out = Vec::with_capacity(ph * pw);
+    let mut out = orbit2_tensor::pool::alloc_uninit(ph * pw);
     for y in 0..ph {
         let gy = (g.core_y0 as i64 + y as i64 - g.halo as i64).clamp(0, fh as i64 - 1) as usize;
         for x in 0..pw {
             let gx = (g.core_x0 as i64 + x as i64 - g.halo as i64).clamp(0, fw as i64 - 1) as usize;
-            out.push(lat_field.data()[gy * fw + gx]);
+            out[y * pw + x] = lat_field.data()[gy * fw + gx];
         }
     }
     Tensor::from_vec(vec![ph, pw], out)
@@ -372,6 +372,29 @@ mod tests {
         let batched2 = run(vec![(&s0.input, &s0.target), (&s1.input, &s1.target)]);
         assert_eq!(batched.data(), batched2.data(), "batched step must be deterministic");
         assert!(batched.max_abs_diff(&only0) > 0.0, "second replica must influence the update");
+    }
+
+    #[test]
+    fn training_reuses_pooled_buffers_across_steps() {
+        // The steady-state claim of the buffer-pool layer: after the first
+        // step warms the pool, later steps serve same-shape allocations
+        // (normalization, gradient averaging, optimizer temporaries) from
+        // recycled buffers instead of the system allocator.
+        let ds = dataset();
+        let spec = TileSpec { tiles_y: 2, tiles_x: 2, halo: 1 };
+        let mut t = Trainer::new(
+            tiny_model(),
+            &ds,
+            TrainerConfig { tile_spec: Some(spec), steps: 4, ..quick_cfg() },
+        );
+        orbit2_tensor::pool::clear();
+        orbit2_tensor::pool::reset_stats();
+        t.train(&ds);
+        let stats = orbit2_tensor::pool::stats();
+        assert!(
+            stats.reuses > 0,
+            "multi-step training must recycle buffers, stats: {stats:?}"
+        );
     }
 
     #[test]

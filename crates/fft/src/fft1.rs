@@ -194,7 +194,7 @@ mod tests {
     fn parseval_energy_conserved() {
         let x: Vec<Complex> = (0..64).map(|i| Complex::new((i as f64 * 0.17).sin(), 0.0)).collect();
         let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
-        let mut y = x.clone();
+        let mut y = x;
         fft(&mut y);
         let freq_energy: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / 64.0;
         assert!((time_energy - freq_energy).abs() < 1e-8);

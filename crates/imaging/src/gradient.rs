@@ -43,7 +43,7 @@ mod tests {
 
     #[test]
     fn flat_field_has_zero_gradient() {
-        let g = sobel(&vec![1.0f32; 25], 5, 5);
+        let g = sobel(&[1.0f32; 25], 5, 5);
         for &m in &g.magnitude {
             assert_eq!(m, 0.0);
         }

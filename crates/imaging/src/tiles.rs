@@ -213,7 +213,7 @@ mod tests {
         let pw = g.padded_w();
         // Top-left padded corner replicates field[0].
         assert_eq!(data[0], field[0]);
-        assert_eq!(data[1 * pw + 1], field[0]);
+        assert_eq!(data[pw + 1], field[0]);
         // Bottom-right padded corner replicates field[15].
         assert_eq!(data[(g.padded_h() - 1) * pw + pw - 1], field[15]);
     }

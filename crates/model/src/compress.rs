@@ -173,7 +173,7 @@ mod tests {
         // Within each group the reconstruction is the group's mean.
         let xv = x.value();
         for g in &plan.groups {
-            let mut mean = vec![0.0f32; 4];
+            let mut mean = [0.0f32; 4];
             for &i in g {
                 for (m, &v) in mean.iter_mut().zip(&xv.data()[i * 4..(i + 1) * 4]) {
                     *m += v / g.len() as f32;

@@ -180,7 +180,7 @@ mod tests {
         let tape = Tape::new();
         let x = tape.leaf(randn(&[3, 4], 6));
         let perm: Vec<usize> = (0..12).rev().collect();
-        let y = permute_elements(x, perm.clone(), vec![12]);
+        let y = permute_elements(x, perm, vec![12]);
         let inv: Vec<usize> = (0..12).rev().collect();
         let z = permute_elements(y, inv, vec![3, 4]);
         z.value().assert_close(&x.value(), 0.0);

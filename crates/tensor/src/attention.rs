@@ -8,6 +8,7 @@
 //! the `kernels` bench shows the memory-traffic win, and a property test
 //! proves numerical equivalence to the naive kernel.
 
+use crate::pool::{self, Buffer};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -58,15 +59,17 @@ pub fn flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, cfg: AttentionConfig)
     let br = cfg.block_q.max(1);
     let bc = cfg.block_kv.max(1);
 
-    let mut out = vec![0.0f32; sq * d];
+    let mut out = pool::alloc_zeroed(sq * d);
     out.par_chunks_mut(br * d).enumerate().for_each(|(qb, o_block)| {
         let q0 = qb * br;
         let rows = o_block.len() / d;
-        // Per-row running max and normalizer for the online softmax.
-        let mut m = vec![f32::NEG_INFINITY; rows];
-        let mut l = vec![0.0f32; rows];
+        // Per-row running max and normalizer for the online softmax. These
+        // `Buffer`s come from (and recycle into) the worker thread's pool, so
+        // repeated calls on the persistent rayon workers allocate nothing.
+        let mut m = Buffer::filled(rows, f32::NEG_INFINITY);
+        let mut l = Buffer::zeroed(rows);
         // Scratch score block, reused across KV blocks.
-        let mut s = vec![0.0f32; rows * bc];
+        let mut s = Buffer::zeroed(rows * bc);
         for k0 in (0..sk).step_by(bc) {
             let kc = bc.min(sk - k0);
             // S = Q_block * K_block^T * scale

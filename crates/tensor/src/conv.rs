@@ -6,6 +6,7 @@
 //! stage are all built from these kernels.
 
 use crate::matmul::matmul_slices;
+use crate::pool::{self, Buffer};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -108,12 +109,13 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeo
     let (oh, ow) = g.out_size(h, w);
     let ncols = oh * ow;
     let krows = c * kh * kw;
-    let mut out = vec![0.0f32; n * o * ncols];
+    let mut out = pool::alloc_zeroed(n * o * ncols);
     let src = input.data();
     let wd = weight.data();
     out.par_chunks_mut(o * ncols).enumerate().for_each(|(ni, dst)| {
-        // Per-sample scratch; allocated once per rayon task, not per pixel.
-        let mut cols = vec![0.0f32; krows * ncols];
+        // Per-sample im2col scratch, drawn from (and recycled into) the
+        // persistent worker thread's pool; fully overwritten by im2col.
+        let mut cols = Buffer::uninit(krows * ncols);
         im2col_plane(&src[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, &mut cols);
         crate::matmul::matmul_block_seq(wd, &cols, dst, o, krows, ncols);
         if let Some(b) = bias {
@@ -140,9 +142,10 @@ pub fn conv2d_grad_input(grad_out: &Tensor, weight: &Tensor, input_shape: &[usiz
     let wt = weight.reshape(vec![o, krows]).transpose2();
     let god = grad_out.data();
     let wtd = wt.data();
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = pool::alloc_zeroed(n * c * h * w);
     out.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, dst)| {
-        let mut cols = vec![0.0f32; krows * ncols];
+        // Zeroed: the sequential matmul accumulates into it.
+        let mut cols = Buffer::zeroed(krows * ncols);
         matmul_slices_seq(wtd, &god[ni * o * ncols..(ni + 1) * o * ncols], &mut cols, krows, o, ncols);
         col2im_plane(&cols, c, h, w, g, dst);
     });
@@ -162,10 +165,10 @@ pub fn conv2d_grad_weight(grad_out: &Tensor, input: &Tensor, weight_shape: &[usi
     let partials: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .map(|ni| {
-            let mut cols = vec![0.0f32; krows * ncols];
+            let mut cols = Buffer::uninit(krows * ncols);
             im2col_plane(&src[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, &mut cols);
             // grad_w[o, krows] = grad_out[o, ncols] * cols^T[ncols, krows]
-            let mut colst = vec![0.0f32; ncols * krows];
+            let mut colst = Buffer::uninit(ncols * krows);
             for r in 0..krows {
                 for cc in 0..ncols {
                     colst[cc * krows + r] = cols[r * ncols + cc];
@@ -176,7 +179,7 @@ pub fn conv2d_grad_weight(grad_out: &Tensor, input: &Tensor, weight_shape: &[usi
             gw
         })
         .collect();
-    let mut total = vec![0.0f32; o * krows];
+    let mut total = pool::alloc_zeroed(o * krows);
     for p in partials {
         for (t, x) in total.iter_mut().zip(p) {
             *t += x;

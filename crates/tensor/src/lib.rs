@@ -14,15 +14,19 @@
 //!   ([`attention`]),
 //! * BF16 emulation ([`bf16`]) used by the mixed-precision trainer.
 //!
-//! Design follows the HPC-parallel guides for this repo: flat `Vec<f32>`
-//! storage, no allocation inside hot loops, `rayon` parallel iterators over
-//! row blocks, and deterministic seeded randomness.
+//! Design follows the HPC-parallel guides for this repo: flat, contiguous
+//! row-major storage behind copy-on-write `Arc` handles ([`pool::Buffer`]),
+//! a thread-local buffer pool so hot loops allocate nothing in steady
+//! state, `rayon` parallel iterators over row blocks, and deterministic
+//! seeded randomness. See `DESIGN.md` ("Memory model") for the ownership
+//! rules.
 
 pub mod attention;
 pub mod bf16;
 pub mod conv;
 pub mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod random;
 pub mod resize;
 pub mod shape;
@@ -30,7 +34,8 @@ pub mod tensor;
 
 pub use attention::{flash_attention, naive_attention, AttentionConfig};
 pub use bf16::{bf16_round, Bf16Mode};
-pub use shape::{broadcast_shapes, strides_for, Shape};
+pub use pool::{Buffer, PoolStats};
+pub use shape::{broadcast_shapes, strides_for, Shape, ShapeHandle};
 pub use tensor::Tensor;
 
 /// Convenience prelude for downstream crates.

@@ -6,6 +6,7 @@
 //! perf-book guidance. Rows of the output are distributed over the rayon
 //! pool in chunks.
 
+use crate::pool;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -55,7 +56,7 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape(), other.shape());
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::alloc_zeroed(m * n);
         matmul_slices(self.data(), other.data(), &mut out, m, k, n);
         Tensor::from_vec(vec![m, n], out)
     }
@@ -78,7 +79,7 @@ impl Tensor {
         } else {
             panic!("bmm batch dims incompatible: {ba} vs {bb}");
         };
-        let mut out = vec![0.0f32; batch * m * n];
+        let mut out = pool::alloc_zeroed(batch * m * n);
         let ad = self.data();
         let bd = other.data();
         out.par_chunks_mut(m * n).enumerate().for_each(|(b, c)| {

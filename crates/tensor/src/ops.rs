@@ -4,6 +4,7 @@
 //! Heavy elementwise work parallelizes over chunks with rayon once the tensor
 //! is large enough to amortize the fork/join cost.
 
+use crate::pool;
 use crate::shape::{broadcast_index, broadcast_shapes, numel, strides_for, unravel};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -13,9 +14,10 @@ const PAR_THRESHOLD: usize = 1 << 15;
 
 fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) -> Tensor {
     if a.shape() == b.shape() {
-        // Fast path: aligned linear scan.
+        // Fast path: aligned linear scan into a pooled buffer, reusing the
+        // left operand's shape handle (no shape reallocation).
         let n = a.len();
-        let mut out = vec![0.0f32; n];
+        let mut out = pool::alloc_uninit(n);
         if n >= PAR_THRESHOLD {
             out.par_iter_mut()
                 .zip(a.data().par_iter().zip(b.data().par_iter()))
@@ -25,7 +27,7 @@ fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync +
                 *o = f(x, y);
             }
         }
-        return Tensor::from_vec(a.shape().to_vec(), out);
+        return Tensor::from_shape_handle(a.shape_handle(), out);
     }
     let out_shape = broadcast_shapes(a.shape(), b.shape())
         .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", a.shape(), b.shape()));
@@ -45,6 +47,52 @@ fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync +
         (0..n).map(kernel).collect()
     };
     Tensor::from_vec(out_shape, data)
+}
+
+/// In-place counterpart of [`binary_broadcast`]: `a = f(a, b)` where `b`
+/// must broadcast to `a`'s shape (the output shape cannot grow in place).
+///
+/// Safe even when `a` and `b` share storage: `data_mut` COW-faults `a` onto
+/// a private buffer first, leaving `b`'s view of the original intact.
+fn binary_broadcast_assign(a: &mut Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync + Send) {
+    if a.shape() == b.shape() {
+        let n = a.len();
+        let dst = a.data_mut();
+        let bd = b.data();
+        if n >= PAR_THRESHOLD {
+            dst.par_iter_mut().zip(bd.par_iter()).for_each(|(x, &y)| *x = f(*x, y));
+        } else {
+            for (x, &y) in dst.iter_mut().zip(bd.iter()) {
+                *x = f(*x, y);
+            }
+        }
+        return;
+    }
+    let out_shape = broadcast_shapes(a.shape(), b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", a.shape(), b.shape()));
+    assert_eq!(
+        out_shape,
+        a.shape(),
+        "in-place op cannot grow {:?} to broadcast result {:?}",
+        a.shape(),
+        out_shape
+    );
+    let a_shape = a.shape().to_vec();
+    let b_shape = b.shape().to_vec();
+    let sb = strides_for(&b_shape);
+    let dst = a.data_mut();
+    let bd = b.data();
+    let kernel = |flat: usize, x: &mut f32| {
+        let ib = broadcast_index(flat, &a_shape, &b_shape, &sb);
+        *x = f(*x, bd[ib]);
+    };
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().enumerate().for_each(|(i, x)| kernel(i, x));
+    } else {
+        for (i, x) in dst.iter_mut().enumerate() {
+            kernel(i, x);
+        }
+    }
 }
 
 impl Tensor {
@@ -76,6 +124,28 @@ impl Tensor {
     /// Elementwise minimum with broadcasting.
     pub fn minimum(&self, other: &Tensor) -> Tensor {
         binary_broadcast(self, other, f32::min)
+    }
+
+    /// In-place addition: `self += other` (other broadcasts to `self`).
+    /// COW: copies `self`'s storage first only when shared.
+    pub fn add_(&mut self, other: &Tensor) {
+        binary_broadcast_assign(self, other, |a, b| a + b);
+    }
+
+    /// In-place subtraction: `self -= other`.
+    pub fn sub_(&mut self, other: &Tensor) {
+        binary_broadcast_assign(self, other, |a, b| a - b);
+    }
+
+    /// In-place multiplication: `self *= other`.
+    pub fn mul_(&mut self, other: &Tensor) {
+        binary_broadcast_assign(self, other, |a, b| a * b);
+    }
+
+    /// Fused in-place multiply-add: `self += alpha * x`. The workhorse of
+    /// gradient accumulation — one pass, no temporaries.
+    pub fn axpy(&mut self, alpha: f32, x: &Tensor) {
+        binary_broadcast_assign(self, x, move |a, b| alpha.mul_add(b, a));
     }
 
     /// Add a scalar.
@@ -188,7 +258,7 @@ impl Tensor {
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
         let src = self.data();
-        let mut out = vec![init; outer * inner];
+        let mut out = pool::alloc_filled(outer * inner, init);
         for o in 0..outer {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
@@ -208,7 +278,7 @@ impl Tensor {
     pub fn softmax_last(&self) -> Tensor {
         let inner = *self.shape().last().expect("softmax on 0-d tensor");
         let rows = self.len() / inner;
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = pool::alloc_uninit(self.len());
         let src = self.data();
         let row_kernel = |(r, dst): (usize, &mut [f32])| {
             let row = &src[r * inner..(r + 1) * inner];
@@ -231,7 +301,7 @@ impl Tensor {
                 row_kernel((r, dst));
             }
         }
-        Tensor::from_vec(self.shape().to_vec(), out)
+        Tensor::from_shape_handle(self.shape_handle(), out)
     }
 
     /// Transpose a 2-d tensor.
@@ -239,7 +309,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose2 requires 2-d, got {:?}", self.shape());
         let (r, c) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
-        let mut out = vec![0.0f32; r * c];
+        let mut out = pool::alloc_uninit(r * c);
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for i0 in (0..r).step_by(B) {
@@ -267,7 +337,7 @@ impl Tensor {
         let old_strides = strides_for(old_shape);
         let n = self.len();
         let src = self.data();
-        let mut out = vec![0.0f32; n];
+        let mut out = pool::alloc_uninit(n);
         // For each output flat index, compute the source flat index.
         let new_strides_in_old: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
         let kernel = |flat: usize, out_elem: &mut f32| {
@@ -353,7 +423,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "scatter_add_rows requires 2-d");
         assert_eq!(self.shape()[0], indices.len());
         let cols = self.shape()[1];
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = pool::alloc_zeroed(rows * cols);
         let src = self.data();
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < rows);
@@ -375,7 +445,7 @@ impl Tensor {
         let lead: usize = self.shape()[..nd - 2].iter().product();
         let nh = h + top + bottom;
         let nw = w + left + right;
-        let mut out = vec![0.0f32; lead * nh * nw];
+        let mut out = pool::alloc_zeroed(lead * nh * nw);
         let src = self.data();
         for l in 0..lead {
             for i in 0..h {
@@ -455,6 +525,57 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![4]);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ones() {
+        let a = Tensor::from_vec(vec![2, 3], vec![0., 1., 2., 3., 4., 5.]);
+        let row = Tensor::from_vec(vec![3], vec![10., 20., 30.]);
+
+        let mut b = a.clone();
+        b.add_(&row);
+        b.assert_close(&a.add(&row), 0.0);
+
+        let mut c = a.clone();
+        c.sub_(&row);
+        c.assert_close(&a.sub(&row), 0.0);
+
+        let mut d = a.clone();
+        d.mul_(&row);
+        d.assert_close(&a.mul(&row), 0.0);
+
+        let mut e = a.clone();
+        e.axpy(2.5, &row);
+        e.assert_close(&a.add(&row.mul_scalar(2.5)), 1e-5);
+
+        // The original operand is never disturbed (COW).
+        assert_eq!(a.data(), &[0., 1., 2., 3., 4., 5.]);
+    }
+
+    #[test]
+    fn add_assign_self_aliasing_is_safe() {
+        let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b));
+        b.add_(&a);
+        assert_eq!(b.data(), &[2., 4., 6.]);
+        assert_eq!(a.data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot grow")]
+    fn in_place_broadcast_cannot_grow() {
+        let mut row = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        let mat = Tensor::zeros(vec![2, 3]);
+        row.add_(&mat);
+    }
+
+    #[test]
+    fn elementwise_result_shares_shape_handle() {
+        let a = Tensor::zeros(vec![4, 5]);
+        let b = Tensor::ones(vec![4, 5]);
+        let c = a.add(&b);
+        assert!(std::sync::Arc::ptr_eq(&a.shape_handle(), &c.shape_handle()));
     }
 
     #[test]

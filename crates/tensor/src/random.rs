@@ -4,6 +4,7 @@
 //! seed; ChaCha8 gives platform-independent streams so tests can assert
 //! bitwise reproducibility.
 
+use crate::pool;
 use crate::tensor::Tensor;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -13,7 +14,10 @@ use rand_distr::{Distribution, StandardNormal};
 pub fn randn(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n: usize = shape.iter().product();
-    let data: Vec<f32> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+    let mut data = pool::alloc_uninit(n);
+    for x in data.iter_mut() {
+        *x = StandardNormal.sample(&mut rng);
+    }
     Tensor::from_vec(shape.to_vec(), data)
 }
 
@@ -21,7 +25,10 @@ pub fn randn(shape: &[usize], seed: u64) -> Tensor {
 pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n: usize = shape.iter().product();
-    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    let mut data = pool::alloc_uninit(n);
+    for x in data.iter_mut() {
+        *x = rng.gen_range(lo..hi);
+    }
     Tensor::from_vec(shape.to_vec(), data)
 }
 

@@ -9,6 +9,7 @@
 //! Tensors are interpreted as `[..., H, W]`: any leading axes are treated as
 //! independent channels.
 
+use crate::pool;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -29,7 +30,8 @@ pub fn resize(t: &Tensor, out_h: usize, out_w: usize, mode: ResizeMode) -> Tenso
     let w = t.shape()[nd - 1];
     let lead: usize = t.shape()[..nd - 2].iter().product();
     let src = t.data();
-    let mut out = vec![0.0f32; lead * out_h * out_w];
+    // Every output pixel is written below, so the buffer can be uninit.
+    let mut out = pool::alloc_uninit(lead * out_h * out_w);
     let sy = h as f32 / out_h as f32;
     let sx = w as f32 / out_w as f32;
     out.par_chunks_mut(out_h * out_w).enumerate().for_each(|(l, dst)| {
@@ -91,7 +93,7 @@ pub fn downsample_area(t: &Tensor, factor: usize) -> Tensor {
     let lead: usize = t.shape()[..nd - 2].iter().product();
     let src = t.data();
     let inv = 1.0 / (factor * factor) as f32;
-    let mut out = vec![0.0f32; lead * oh * ow];
+    let mut out = pool::alloc_uninit(lead * oh * ow);
     out.par_chunks_mut(oh * ow).enumerate().for_each(|(l, dst)| {
         let plane = &src[l * h * w..(l + 1) * h * w];
         for oy in 0..oh {
@@ -143,7 +145,7 @@ mod tests {
         let t = Tensor::from_vec(vec![1, w], (0..w).map(|i| i as f32).collect());
         let u = resize(&t, 1, 2 * w, ResizeMode::Bilinear);
         // interior sample at output x=5 maps to input 2.25
-        let expect = (5 as f32 + 0.5) * 0.5 - 0.5;
+        let expect = (5.0f32 + 0.5) * 0.5 - 0.5;
         assert!((u.at(&[0, 5]) - expect).abs() < 1e-5);
     }
 

@@ -7,6 +7,11 @@
 /// A tensor shape: the extent of each axis, outermost first.
 pub type Shape = Vec<usize>;
 
+/// Shared, immutable handle to a shape. Tensors hand these out so derived
+/// tensors of identical shape (elementwise results, gradients) share one
+/// allocation instead of re-`to_vec`-ing the extents on every op.
+pub type ShapeHandle = std::sync::Arc<Shape>;
+
 /// Row-major strides (in elements) for a dense tensor of the given shape.
 ///
 /// The stride of the last axis is 1; a zero-dim shape yields an empty vec.

@@ -1,17 +1,27 @@
 //! The dense `f32` tensor type.
 
-use crate::shape::{numel, strides_for, Shape};
+use crate::pool::Buffer;
+use crate::shape::{numel, strides_for, Shape, ShapeHandle};
 use std::fmt;
+use std::sync::Arc;
 
-/// A dense, row-major tensor of `f32`.
+/// A dense, row-major tensor of `f32` with copy-on-write storage.
+///
+/// Both the shape and the element buffer live behind `Arc`s: cloning a
+/// tensor, reshaping, or capturing one in an autograd closure costs two
+/// reference-count bumps. The first mutation of shared storage
+/// ([`Tensor::data_mut`] and the `*_` in-place ops) triggers exactly one
+/// copy via `Arc::make_mut`; uniquely-owned tensors mutate in place for
+/// free. Buffers are drawn from and recycled to a thread-local pool
+/// ([`crate::pool`]).
 ///
 /// All kernels in this crate operate on contiguous storage; views are
 /// materialized explicitly (e.g. [`Tensor::permute`]) which keeps every hot
 /// loop a linear scan — the access pattern the perf-book guide favours.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    shape: Shape,
-    data: Vec<f32>,
+    shape: ShapeHandle,
+    data: Arc<Buffer>,
 }
 
 impl Tensor {
@@ -29,14 +39,34 @@ impl Tensor {
             numel(&shape),
             data.len()
         );
-        Self { shape, data }
+        Self { shape: Arc::new(shape), data: Arc::new(Buffer::from_vec(data)) }
     }
 
-    /// All-zero tensor.
+    /// Like [`Tensor::from_vec`] but reusing an existing shape handle, so
+    /// same-shaped results (elementwise ops, gradients) share one shape
+    /// allocation.
+    pub fn from_shape_handle(shape: ShapeHandle, data: Vec<f32>) -> Self {
+        assert_eq!(numel(&shape), data.len(), "shape {:?} does not match data length", shape);
+        Self { shape, data: Arc::new(Buffer::from_vec(data)) }
+    }
+
+    /// Build from a pooled [`Buffer`] and a shape handle.
+    pub fn from_buffer(shape: ShapeHandle, buffer: Buffer) -> Self {
+        assert_eq!(numel(&shape), buffer.len(), "shape {:?} does not match buffer length", shape);
+        Self { shape, data: Arc::new(buffer) }
+    }
+
+    /// All-zero tensor (pool-allocated).
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![0.0; n] }
+        Self { shape: Arc::new(shape), data: Arc::new(Buffer::zeroed(n)) }
+    }
+
+    /// All-zero tensor with the same shape as `like`, sharing its shape
+    /// handle (no shape reallocation).
+    pub fn zeros_like(like: &Tensor) -> Self {
+        Self { shape: like.shape.clone(), data: Arc::new(Buffer::zeroed(like.len())) }
     }
 
     /// All-one tensor.
@@ -44,26 +74,44 @@ impl Tensor {
         Self::full(shape, 1.0)
     }
 
-    /// Constant-filled tensor.
+    /// Constant-filled tensor (pool-allocated).
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = numel(&shape);
-        Self { shape, data: vec![value; n] }
+        Self { shape: Arc::new(shape), data: Arc::new(Buffer::filled(n, value)) }
     }
 
     /// 0-d scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![], data: vec![value] }
+        Self { shape: Arc::new(vec![]), data: Arc::new(Buffer::from_vec(vec![value])) }
     }
 
     /// `[0, 1, ..., n-1]` as a 1-d tensor.
     pub fn arange(n: usize) -> Self {
-        Self { shape: vec![n], data: (0..n).map(|i| i as f32).collect() }
+        let mut data = crate::pool::alloc_uninit(n);
+        for (i, x) in data.iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        Self { shape: Arc::new(vec![n]), data: Arc::new(Buffer::from_vec(data)) }
     }
 
     /// The shape (axis extents, outermost first).
     pub fn shape(&self) -> &[usize] {
         &self.shape
+    }
+
+    /// Shared handle to the shape; pass to [`Tensor::from_shape_handle`] /
+    /// [`Tensor::from_buffer`] to build same-shaped tensors without
+    /// reallocating the extents.
+    pub fn shape_handle(&self) -> ShapeHandle {
+        Arc::clone(&self.shape)
+    }
+
+    /// True when `self` and `other` share the same underlying element
+    /// buffer (i.e. a write to one would COW-fault). Diagnostic; used by
+    /// aliasing tests.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Number of axes.
@@ -87,13 +135,21 @@ impl Tensor {
     }
 
     /// Mutable view of the flat row-major storage.
+    ///
+    /// Copy-on-write point: when the buffer is shared with other tensors
+    /// this clones it (one pooled allocation + memcpy); when uniquely owned
+    /// it is free.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consume the tensor, returning its storage.
+    /// Consume the tensor, returning its storage. Copies only when the
+    /// buffer is shared.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match Arc::try_unwrap(self.data) {
+            Ok(buf) => buf.into_vec(),
+            Err(shared) => shared.as_slice().to_vec(),
+        }
     }
 
     /// Value of a 0-d or single-element tensor.
@@ -113,10 +169,11 @@ impl Tensor {
     /// Set the element at a multi-dimensional coordinate.
     pub fn set(&mut self, coord: &[usize], value: f32) {
         let i = crate::shape::ravel(coord, &self.shape);
-        self.data[i] = value;
+        self.data_mut()[i] = value;
     }
 
-    /// Reinterpret with a new shape of identical element count.
+    /// Reinterpret with a new shape of identical element count. The storage
+    /// is shared, not copied.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         assert_eq!(
@@ -126,14 +183,14 @@ impl Tensor {
             self.shape,
             shape
         );
-        Self { shape, data: self.data.clone() }
+        Self { shape: Arc::new(shape), data: Arc::clone(&self.data) }
     }
 
-    /// Like [`Tensor::reshape`] but consumes `self` (no copy).
+    /// Like [`Tensor::reshape`] but consumes `self`.
     pub fn into_reshape(mut self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         assert_eq!(numel(&shape), self.data.len(), "reshape changes element count");
-        self.shape = shape;
+        self.shape = Arc::new(shape);
         self
     }
 
@@ -142,16 +199,33 @@ impl Tensor {
         strides_for(&self.shape)
     }
 
-    /// Apply `f` elementwise, producing a new tensor.
+    /// Apply `f` elementwise, producing a new (pool-allocated) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
-        let data = self.data.iter().map(|&x| f(x)).collect();
-        Self { shape: self.shape.clone(), data }
+        let mut out = Buffer::uninit(self.len());
+        for (o, &x) in out.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
+        Self { shape: self.shape.clone(), data: Arc::new(out) }
     }
 
-    /// Apply `f` elementwise in place.
+    /// Apply `f` elementwise in place (COW: copies first when shared).
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
+        }
+    }
+
+    /// Consuming elementwise map: reuses the storage when uniquely owned,
+    /// so chains like `t.map_into(a).map_into(b)` allocate nothing.
+    pub fn map_into(mut self, f: impl Fn(f32) -> f32) -> Self {
+        self.map_inplace(f);
+        self
+    }
+
+    /// In-place scalar multiply: `self *= s`.
+    pub fn scale_(&mut self, s: f32) {
+        for x in self.data_mut() {
+            *x *= s;
         }
     }
 
@@ -160,8 +234,11 @@ impl Tensor {
     /// For broadcasting semantics use the arithmetic ops in [`crate::ops`].
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "zip requires identical shapes");
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Self { shape: self.shape.clone(), data }
+        let mut out = Buffer::uninit(self.len());
+        for ((o, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
+        }
+        Self { shape: self.shape.clone(), data: Arc::new(out) }
     }
 
     /// True when every element is finite.
@@ -187,11 +264,19 @@ impl Tensor {
     }
 }
 
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.shape, &other.shape) || *self.shape == *other.shape)
+            && (Arc::ptr_eq(&self.data, &other.data)
+                || self.data.as_slice() == other.data.as_slice())
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
         if self.data.len() <= 16 {
-            write!(f, " {:?}", self.data)
+            write!(f, " {:?}", self.data.as_slice())
         } else {
             write!(
                 f,
@@ -233,6 +318,43 @@ mod tests {
     }
 
     #[test]
+    fn reshape_shares_storage() {
+        let t = Tensor::arange(6);
+        let r = t.reshape(vec![2, 3]);
+        assert!(t.shares_storage(&r));
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b));
+        b.data_mut()[0] = 99.0;
+        assert!(!a.shares_storage(&b));
+        assert_eq!(a.data(), &[1., 2., 3.], "original must be untouched by clone mutation");
+        assert_eq!(b.data(), &[99., 2., 3.]);
+    }
+
+    #[test]
+    fn map_into_reuses_unique_storage() {
+        crate::pool::reset_stats();
+        let t = Tensor::from_vec(vec![4], vec![1., 2., 3., 4.]);
+        let before = crate::pool::stats();
+        let t = t.map_into(|x| x * 2.0);
+        let after = crate::pool::stats();
+        assert_eq!(t.data(), &[2., 4., 6., 8.]);
+        assert_eq!(after.copies, before.copies, "unique map_into must not copy");
+        assert_eq!(after.fresh_allocs, before.fresh_allocs);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut t = Tensor::from_vec(vec![3], vec![1., -2., 4.]);
+        t.scale_(0.5);
+        assert_eq!(t.data(), &[0.5, -1., 2.]);
+    }
+
+    #[test]
     fn map_and_zip() {
         let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
         let b = a.map(|x| x * 2.0);
@@ -252,5 +374,14 @@ mod tests {
         t.set(&[1, 0], 9.0);
         assert_eq!(t.at(&[1, 0]), 9.0);
         assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn set_on_shared_storage_faults_privately() {
+        let a = Tensor::zeros(vec![2, 2]);
+        let mut b = a.clone();
+        b.set(&[0, 0], 5.0);
+        assert_eq!(a.at(&[0, 0]), 0.0);
+        assert_eq!(b.at(&[0, 0]), 5.0);
     }
 }

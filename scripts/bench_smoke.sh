@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke benchmark: run the substrate kernel + flash-attention criterion
+# benches twice — with the thread-local buffer pool enabled (default) and
+# disabled (ORBIT2_DISABLE_POOL=1) — and append a summary record to
+# BENCH_kernels.json so pooled-vs-unpooled deltas are tracked over time.
+#
+# Usage: scripts/bench_smoke.sh [extra cargo-bench args]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT_JSON="$REPO_ROOT/BENCH_kernels.json"
+BENCHES=(kernels flash_attention)
+
+run_benches() {
+    # Prints one BENCH_JSON payload per benchmark to stdout.
+    local log
+    for bench in "${BENCHES[@]}"; do
+        log="$(cargo bench -p orbit2-bench --bench "$bench" "$@" 2>&1)" || {
+            echo "bench $bench failed:" >&2
+            echo "$log" >&2
+            exit 1
+        }
+        echo "$log" | sed -n 's/^BENCH_JSON //p'
+    done
+}
+
+collect() {
+    # $1 = pool mode label; remaining BENCH_JSON lines on stdin.
+    jq -s --arg pool "$1" '{pool: $pool, results: .}'
+}
+
+cd "$REPO_ROOT"
+
+echo "== bench smoke: pool enabled =="
+pooled="$(run_benches "$@" | collect enabled)"
+
+echo "== bench smoke: pool disabled (ORBIT2_DISABLE_POOL=1) =="
+unpooled="$(ORBIT2_DISABLE_POOL=1 run_benches "$@" | collect disabled)"
+
+record="$(jq -n \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg rev "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --argjson pooled "$pooled" \
+    --argjson unpooled "$unpooled" \
+    '{date: $date, rev: $rev, runs: [$pooled, $unpooled]}')"
+
+if [[ -s "$OUT_JSON" ]]; then
+    jq --argjson rec "$record" '. + [$rec]' "$OUT_JSON" > "$OUT_JSON.tmp"
+    mv "$OUT_JSON.tmp" "$OUT_JSON"
+else
+    jq -n --argjson rec "$record" '[$rec]' > "$OUT_JSON"
+fi
+
+echo "appended bench record to $OUT_JSON"
+jq -r '.[-1].runs[] | .pool as $p | .results[] | "\($p)\t\(.bench)\t\(.median_ns) ns"' "$OUT_JSON"

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Lint gate: the workspace must be clippy-clean with warnings denied.
+# `clippy::redundant_clone` is enabled on top of the default set because the
+# COW tensor refactor makes `.clone()` cheap — a redundant one is now pure
+# noise and usually marks a spot where a COW handle was misunderstood.
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+exec cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone "$@"

@@ -168,6 +168,25 @@ proptest! {
     }
 
     #[test]
+    fn cow_clone_mutation_never_changes_original((field, h, w) in small_field(16), s in -2.0f32..2.0) {
+        // Tensors share storage on clone; any mutation path (in-place ops or
+        // raw data_mut) must fault the clone into private storage first.
+        let original = Tensor::from_vec(vec![h, w], field.clone());
+        let mut cloned = original.clone();
+        cloned.scale_(s);
+        cloned.add_(&original);
+        for v in cloned.data_mut() {
+            *v += 1.0;
+        }
+        prop_assert_eq!(original.data(), &field[..]);
+        // And the reverse direction: mutating the original leaves the clone alone.
+        let snapshot = cloned.clone();
+        let mut orig2 = original;
+        orig2.scale_(0.0);
+        prop_assert_eq!(cloned.data(), snapshot.data());
+    }
+
+    #[test]
     fn grad_scaler_unscale_is_inverse(scale_pow in 1u32..16, values in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
         use orbit2_autograd::GradScaler;
         let scale = (1u32 << scale_pow) as f32;
@@ -181,4 +200,30 @@ proptest! {
             prop_assert!((a - b).abs() <= 1e-2 * (1.0 + b.abs()));
         }
     }
+}
+
+/// The thread-local buffer pool must hand back previously freed storage
+/// instead of allocating fresh buffers once the workload becomes steady-state
+/// (satellite acceptance test: allocation counter observes reuse).
+#[test]
+fn buffer_pool_recycles_freed_buffers() {
+    use orbit2_tensor::pool;
+    if std::env::var_os("ORBIT2_DISABLE_POOL").is_some() {
+        return; // Pool explicitly disabled; nothing to assert.
+    }
+    pool::clear();
+    pool::reset_stats();
+    for step in 0..8u64 {
+        let t = orbit2_tensor::random::randn(&[32, 32], step);
+        let u = t.add(&t).mul(&t);
+        assert_eq!(u.len(), 32 * 32);
+        // `t` and `u` drop here; their buffers recycle into the pool and the
+        // next iteration's allocations of the same capacity must reuse them.
+    }
+    let stats = pool::stats();
+    assert!(
+        stats.reuses > 0,
+        "expected pooled buffer reuse after repeated same-shape allocations, got {stats:?}"
+    );
+    assert!(stats.fresh_allocs < 8 * 3, "fresh allocations not amortized: {stats:?}");
 }

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same authoring API (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`) but a much simpler runner: a calibration pass
+//! picks an iteration count targeting a fixed per-sample duration, then each
+//! sample times that many iterations. Results are printed as a human line
+//! plus a `BENCH_JSON {...}` line that `scripts/bench_smoke.sh` collects
+//! into `BENCH_kernels.json`.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_NANOS: f64 = 5.0e6;
+const MAX_ITERS_PER_SAMPLE: u64 = 1_000;
+
+/// Top-level bench context handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo-bench forwards CLI args (a name filter, plus flags like
+        // `--bench`); keep the first non-flag arg as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, criterion: self }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(name.to_string(), |b| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        self.run_one(id.id, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: one iteration, then scale toward the target sample time.
+        let mut bencher = Bencher { iters: 1, nanos_per_iter: 0.0 };
+        f(&mut bencher);
+        let est = bencher.nanos_per_iter.max(1.0);
+        let iters = ((TARGET_SAMPLE_NANOS / est) as u64).clamp(1, MAX_ITERS_PER_SAMPLE);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters, nanos_per_iter: 0.0 };
+            f(&mut bencher);
+            samples.push(bencher.nanos_per_iter);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{full:<40} median {:>12} mean {:>12} min {:>12} ({} samples x {iters} iters)",
+            fmt_nanos(median),
+            fmt_nanos(mean),
+            fmt_nanos(min),
+            samples.len(),
+        );
+        println!(
+            "BENCH_JSON {{\"bench\":\"{full}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\
+             \"min_ns\":{min:.1},\"samples\":{},\"iters\":{iters}}}",
+            samples.len(),
+        );
+    }
+
+    /// End the group (reporting happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} us", ns / 1.0e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures for one sample.
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` for this sample's iteration count, recording mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rand` crate: the trait surface the workspace
+//! uses (`RngCore`, `Rng::gen_range`, `SeedableRng::seed_from_u64`).
+//!
+//! Concrete generators live in the sibling `rand_chacha` shim; distributions
+//! in `rand_distr`.
+
+use std::ops::Range;
+
+/// Core random source.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A half-open range a value can be drawn from.
+pub trait SampleRange {
+    /// The sampled type.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Uniform `f32` in `[0, 1)` using the high 24 bits.
+fn unit_f32<G: RngCore + ?Sized>(rng: &mut G) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Uniform `f64` in `[0, 1)` using the high 53 bits.
+fn unit_f64<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f32(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_one<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift keeps the draw unbiased enough for test data.
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_one(self)
+    }
+
+    /// Uniform draw of a canonical value (`f32`/`f64` in `[0,1)`, full-width
+    /// integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a canonical "standard" distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl Standard for f32 {
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for u32 {
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn gen_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-3.0f32..3.0);
+            assert!((-3.0..3.0).contains(&f));
+            let i = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&i));
+            let n = rng.gen_range(-10i32..-2);
+            assert!((-10..-2).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unit_draws_cover_interval() {
+        let mut rng = SplitMix(3);
+        let xs: Vec<f32> = (0..4000).map(|_| rng.gen::<f32>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus
+//! [`StandardNormal`] via Box–Muller.
+
+use rand::RngCore;
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: avoids ln(0).
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+/// Normal distribution with configurable mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    /// N(mean, std_dev^2); `std_dev` must be finite and nonnegative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (self.mean + self.std_dev * box_muller(rng)) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Lcg(12345);
+        let xs: Vec<f64> = (0..20_000).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,835 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of rayon's API the workspace uses. Parallel iterators are
+//! *indexed*: every shape knows its length and can split at an index, so a
+//! terminal operation partitions the work into contiguous balanced pieces
+//! and submits one job per piece to a **persistent global worker registry**
+//! (like real rayon's thread pool). Persistent workers matter beyond spawn
+//! cost: downstream thread-local state — notably `orbit2-tensor`'s buffer
+//! pool — survives across parallel calls, so a trainer step's tile workers
+//! reuse the same scratch buffers step after step.
+//!
+//! Nested parallel calls on a worker run inline (sequentially) instead of
+//! re-submitting to the registry, which keeps the design deadlock-free
+//! without work stealing. Semantics match rayon where it matters here:
+//! items are processed exactly once, `collect` preserves order, and worker
+//! panics propagate to the caller.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static THREAD_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of worker threads a parallel call may use on this thread.
+pub fn current_num_threads() -> usize {
+    THREAD_BUDGET.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    THREAD_BUDGET.with(|c| {
+        let prev = c.get();
+        c.set(Some(budget.max(1)));
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker registry
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set once on registry worker threads; nested parallel calls check it
+    /// and run inline instead of re-submitting (deadlock avoidance).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A unit of work dispatched to the registry. `'env` jobs borrow from the
+/// dispatching stack frame; [`run_jobs`] erases the lifetime and restores
+/// soundness by blocking until every job has completed.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Completion barrier for one batch of jobs.
+#[derive(Default)]
+struct Latch {
+    done: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn complete(&self) {
+        let mut done = self.done.lock().unwrap();
+        *done += 1;
+        self.all_done.notify_all();
+    }
+
+    fn wait(&self, target: usize) {
+        let mut done = self.done.lock().unwrap();
+        while *done < target {
+            done = self.all_done.wait(done).unwrap();
+        }
+    }
+}
+
+struct Registry {
+    jobs: Mutex<VecDeque<Job<'static>>>,
+    ready: Condvar,
+}
+
+/// The process-wide worker registry; `default_threads()` workers are spawned
+/// on first use and live for the rest of the process. Keeping the same OS
+/// threads alive is what lets worker-side `thread_local!` state (e.g. the
+/// tensor buffer pool) accumulate across parallel calls.
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    static SPAWN: Once = Once::new();
+    let reg = REG.get_or_init(|| Registry { jobs: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+    SPAWN.call_once(|| {
+        for i in 0..default_threads() {
+            std::thread::Builder::new()
+                .name(format!("orbit2-rayon-{i}"))
+                .spawn(move || worker_loop(reg))
+                .expect("failed to spawn rayon shim worker");
+        }
+    });
+    reg
+}
+
+fn worker_loop(reg: &'static Registry) {
+    IN_WORKER.with(|c| c.set(true));
+    // A worker owns exactly one piece at a time, so nested parallel calls on
+    // it should not split further.
+    THREAD_BUDGET.with(|c| c.set(Some(1)));
+    loop {
+        let job = {
+            let mut pending = reg.jobs.lock().unwrap();
+            loop {
+                match pending.pop_front() {
+                    Some(job) => break job,
+                    None => pending = reg.ready.wait(pending).unwrap(),
+                }
+            }
+        };
+        job();
+    }
+}
+
+/// Execute a batch of jobs on the registry and block until all complete.
+/// Runs inline when there is nothing to parallelise or when already on a
+/// worker thread. Panics in any job re-panic here after the batch drains.
+fn run_jobs(jobs: Vec<Job<'_>>) {
+    let total = jobs.len();
+    if total == 0 {
+        return;
+    }
+    if total == 1 || IN_WORKER.with(|c| c.get()) {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let latch = Arc::new(Latch::default());
+    let reg = registry();
+    {
+        let mut pending = reg.jobs.lock().unwrap();
+        for job in jobs {
+            // SAFETY: the borrows captured by `job` stay valid until this
+            // function returns, and it only returns after `latch.wait`
+            // observes every job finished — workers signal completion even
+            // when a job panics (caught below), so the erased lifetime can
+            // never be observed dangling.
+            let job: Job<'static> = unsafe { std::mem::transmute(job) };
+            let latch = Arc::clone(&latch);
+            pending.push_back(Box::new(move || {
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    latch.panicked.store(true, Ordering::Relaxed);
+                }
+                latch.complete();
+            }));
+        }
+        reg.ready.notify_all();
+    }
+    latch.wait(total);
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("rayon shim worker panicked");
+    }
+}
+
+/// An indexed parallel iterator: splittable at an index, convertible to a
+/// sequential iterator for per-piece execution.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Sequential iterator driving one piece.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+    /// Split into `[0, at)` and `[at, len)` pieces.
+    fn split_at(self, at: usize) -> (Self, Self);
+    /// Sequential traversal of this piece.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Map each item through `f`.
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Pair items with another parallel iterator (truncates to the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        map_pieces(self, |piece| piece.into_seq().for_each(&f));
+    }
+
+    /// Collect items in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items, in parallel.
+    fn sum<S>(self) -> S
+    where
+        S: ParallelSum<Self::Item>,
+    {
+        S::par_sum(self)
+    }
+}
+
+/// Split an iterator into at most `current_num_threads()` contiguous pieces
+/// of near-equal length.
+fn balanced_pieces<I: ParallelIterator>(iter: I) -> Vec<I> {
+    let len = iter.par_len();
+    let want = current_num_threads().min(len).max(1);
+    let mut out = Vec::with_capacity(want);
+    let mut rest = iter;
+    let mut remaining_items = len;
+    let mut remaining_parts = want;
+    while remaining_parts > 1 {
+        let take = remaining_items.div_ceil(remaining_parts);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining_items -= take;
+        remaining_parts -= 1;
+    }
+    out.push(rest);
+    out
+}
+
+/// Run one closure per piece on the worker registry, returning per-piece
+/// results in order.
+fn map_pieces<I, R, F>(iter: I, f: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let pieces = balanced_pieces(iter);
+    if pieces.len() == 1 {
+        return pieces.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(pieces.len(), || None);
+    let jobs: Vec<Job<'_>> = pieces
+        .into_iter()
+        .zip(slots.iter_mut())
+        .map(|(piece, slot)| {
+            let f = &f;
+            Box::new(move || *slot = Some(f(piece))) as Job<'_>
+        })
+        .collect();
+    run_jobs(jobs);
+    slots.into_iter().map(|s| s.expect("registry completed every piece")).collect()
+}
+
+/// Order-preserving parallel collect target.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection from a parallel iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let total = iter.par_len();
+        let chunks = map_pieces(iter, |piece| piece.into_seq().collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Parallel summation for the scalar types the workspace reduces over.
+pub trait ParallelSum<Item>: Send {
+    /// Sum all items of the iterator.
+    fn par_sum<I: ParallelIterator<Item = Item>>(iter: I) -> Self;
+}
+
+macro_rules! impl_parallel_sum {
+    ($($t:ty),*) => {$(
+        impl ParallelSum<$t> for $t {
+            fn par_sum<I: ParallelIterator<Item = $t>>(iter: I) -> Self {
+                map_pieces(iter, |piece| piece.into_seq().fold(<$t>::default(), |a, b| a + b))
+                    .into_iter()
+                    .fold(<$t>::default(), |a, b| a + b)
+            }
+        }
+    )*};
+}
+
+impl_parallel_sum!(f32, f64, usize, u64, i64);
+
+// ---------------------------------------------------------------------------
+// Conversions into parallel iterators
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on shared references (rayon's blanket-style trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoParallelIterator,
+{
+    type Iter = <&'a T as IntoParallelIterator>::Iter;
+    type Item = <&'a T as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoParallelIterator,
+{
+    type Iter = <&'a mut T as IntoParallelIterator>::Iter;
+    type Item = <&'a mut T as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SlicePar<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(at);
+        (SlicePar(a), SlicePar(b))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceParMut<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for SliceParMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(at);
+        (SliceParMut(a), SliceParMut(b))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0.iter_mut()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Self::Iter {
+        SlicePar(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Self::Iter {
+        SlicePar(self)
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceParMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParMut(self)
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceParMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParMut(self)
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct RangePar(Range<usize>);
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    type SeqIter = Range<usize>;
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = self.0.start + at;
+        (RangePar(self.0.start..mid), RangePar(mid..self.0.end))
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.0
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> Self::Iter {
+        RangePar(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice chunking
+// ---------------------------------------------------------------------------
+
+/// `.par_chunks()` support.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+}
+
+/// `.par_chunks_mut()` support.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksParMut<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksPar { slice: self, size }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksParMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksParMut { slice: self, size }
+    }
+}
+
+/// Parallel chunks of a shared slice.
+pub struct ChunksPar<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (ChunksPar { slice: a, size: self.size }, ChunksPar { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel chunks of an exclusive slice.
+pub struct ChunksParMut<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksParMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (ChunksParMut { slice: a, size: self.size }, ChunksParMut { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Mapped parallel iterator; the closure is shared across pieces via `Arc`.
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeq<It, F> {
+    it: It,
+    f: Arc<F>,
+}
+
+impl<It, F, R> Iterator for MapSeq<It, F>
+where
+    It: Iterator,
+    F: Fn(It::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.it.next().map(|x| (self.f)(x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.it.size_hint()
+    }
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = MapSeq<I::SeqIter, F>;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(at);
+        (Map { base: a, f: Arc::clone(&self.f) }, Map { base: b, f: self.f })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq { it: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Zipped pair of parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(at);
+        let (b0, b1) = self.b.split_at(at);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Index-tagged parallel iterator.
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`]: `std::iter::Enumerate` shifted by the
+/// piece's global offset.
+pub struct EnumerateSeq<It> {
+    it: It,
+    index: usize,
+}
+
+impl<It: Iterator> Iterator for EnumerateSeq<It> {
+    type Item = (usize, It::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.it.next()?;
+        let i = self.index;
+        self.index += 1;
+        Some((i, x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.it.size_hint()
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type SeqIter = EnumerateSeq<I::SeqIter>;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(at);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + at },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { it: self.base.into_seq(), index: self.offset }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool facade
+// ---------------------------------------------------------------------------
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.num_threads.unwrap_or_else(default_threads).max(1) })
+    }
+}
+
+/// A scoped thread budget: `install` runs the closure with parallel calls
+/// limited to this pool's thread count.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` under this pool's thread budget.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_budget(self.threads, f)
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IN_WORKER.with(|c| c.get()) {
+        return (a(), b());
+    }
+    let mut ra = None;
+    let mut rb = None;
+    run_jobs(vec![
+        Box::new(|| ra = Some(a())) as Job<'_>,
+        Box::new(|| rb = Some(b())) as Job<'_>,
+    ]);
+    (ra.expect("join left arm completed"), rb.expect("join right arm completed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn zip_for_each_mutates_all() {
+        let a = vec![1.0f32; 4097];
+        let b = vec![2.0f32; 4097];
+        let mut out = vec![0.0f32; 4097];
+        out.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(o, (&x, &y))| *o = x + y);
+        assert!(out.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_sees_global_indices() {
+        let mut buf = vec![0usize; 103];
+        buf.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i;
+            }
+        });
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[95], 9);
+        assert_eq!(buf[102], 10);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: f64 = (0..10_000usize).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, (10_000.0 * 9_999.0) / 2.0);
+    }
+
+    #[test]
+    fn pool_install_limits_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn registry_reuses_a_bounded_set_of_threads() {
+        // With per-call scoped threads, 20 calls would mint ~20×N distinct
+        // thread ids (ids are never reused in-process). The persistent
+        // registry keeps executing on the same N workers (+ the caller for
+        // inline pieces).
+        let all = Mutex::new(std::collections::HashSet::new());
+        for _ in 0..20 {
+            (0..1024usize).into_par_iter().for_each(|_| {
+                all.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+        let distinct = all.into_inner().unwrap().len();
+        assert!(
+            distinct <= default_threads() + 1,
+            "expected at most {} persistent workers, saw {} distinct threads",
+            default_threads() + 1,
+            distinct
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                assert!(i != 777, "boom");
+            });
+        });
+        assert!(result.is_err(), "a panicking piece must fail the parallel call");
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // Inner calls land on registry workers and must run inline there
+        // instead of deadlocking on the (busy) registry.
+        let sums: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..100usize).into_par_iter().map(move |j| i + j).sum::<usize>())
+            .collect();
+        assert_eq!(sums.len(), 8);
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, 100 * i + 4950);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for exactly
+//! the shapes this workspace uses: non-generic structs with named fields and
+//! enums with unit variants, no `#[serde(...)]` attributes. The input token
+//! stream is walked by hand (no `syn`/`quote` — nothing external resolves
+//! offline) and the impls are emitted as formatted source.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip one attribute: the caller has consumed `#`; consume the `[...]`.
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr(&mut iter),
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    // `pub`, `pub(crate)` etc. — ignore and keep scanning.
+                    continue;
+                }
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive shim: expected item name, got {other:?}"),
+                };
+                // The brace body must follow the name immediately; anything
+                // between them (e.g. generics) is unsupported by the shim.
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        if kw == "struct" {
+                            Item::Struct { name, fields: named_fields(g.stream()) }
+                        } else {
+                            Item::Enum { name, variants: unit_variants(g.stream()) }
+                        }
+                    }
+                    None => panic!("serde_derive shim: `{name}` has no brace-delimited body"),
+                    other => panic!(
+                        "serde_derive shim: `{name}` has tokens between name and body \
+                         (generics/tuple struct?), unsupported: {other:?}"
+                    ),
+                };
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct or enum found in derive input");
+}
+
+/// Field names of a named-field struct body, skipping attributes,
+/// visibility, and the type after each `:` (tracking `<...>` nesting so
+/// commas inside generic arguments don't split fields).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive shim: unexpected token in struct body: {other:?}"),
+            }
+        };
+        fields.push(name);
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Variant names of a unit-variant enum body.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr(&mut iter),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Group(g) => panic!(
+                "serde_derive shim: non-unit enum variant payload {g:?} unsupported"
+            ),
+            other => panic!("serde_derive shim: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::serialize_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive shim: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(obj.get({f:?})\
+                             .ok_or_else(|| ::serde::Error::new(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = value.as_object()\
+                             .ok_or_else(|| ::serde::Error::new(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         Ok(Self {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::new(format!(\n\
+                                 \"unknown variant {{other:?}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive shim: generated Deserialize impl did not parse")
+}
