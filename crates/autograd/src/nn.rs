@@ -3,45 +3,75 @@
 
 use crate::tape::{Tape, Var};
 use orbit2_tensor::conv::{conv2d, conv2d_grad_bias, conv2d_grad_input, conv2d_grad_weight, ConvGeom};
+use orbit2_tensor::fused::{act_backward, layer_norm_rows, matmul_bias_act, Activation};
 use orbit2_tensor::pool;
 use orbit2_tensor::resize::{resize, ResizeMode};
+use orbit2_tensor::simd;
 use orbit2_tensor::Tensor;
 
 impl<'t> Var<'t> {
     /// Affine map `self [N, I] @ weight^T [I, O] + bias [O]`.
     ///
-    /// Weight layout is `[O, I]` (PyTorch convention).
+    /// Weight layout is `[O, I]` (PyTorch convention). Routed through the
+    /// fused GEMM epilogue with an identity activation.
     pub fn linear(&self, weight: Var<'t>, bias: Option<Var<'t>>) -> Var<'t> {
-        let y = self.matmul(weight.transpose2());
-        match bias {
-            Some(b) => y.add(b),
-            None => y,
-        }
+        self.linear_act(weight, bias, Activation::Identity)
+    }
+
+    /// Fused linear layer: `act(self @ weight^T + bias)` in one kernel.
+    ///
+    /// The bias add and activation run as a GEMM epilogue while each C
+    /// block is cache-hot ([`matmul_bias_act`]); the pre-activation is kept
+    /// on the tape so the backward pass evaluates `act'` without recomputing
+    /// the GEMM. Backward products (`gz W`, `gz^T x`) use the stride-aware
+    /// kernels — no transposes materialized anywhere on this path.
+    pub fn linear_act(
+        &self,
+        weight: Var<'t>,
+        bias: Option<Var<'t>>,
+        act: Activation,
+    ) -> Var<'t> {
+        let x = self.value();
+        let w = weight.value();
+        let bt = bias.map(|b| b.value());
+        let (y, pre) = matmul_bias_act(&x, &w, bt.as_ref(), act);
+        let (xid, wid) = (self_id(self), self_id(&weight));
+        let bid = bias.as_ref().map(self_id);
+        let tracked = self_tracked(self)
+            || self_tracked(&weight)
+            || bias.map(|b| self_tracked(&b)).unwrap_or(false);
+        self.tape().record_custom(
+            y,
+            tracked,
+            Box::new(move |g| {
+                // gz = g ⊙ act'(pre); identity has no stored pre.
+                let gz = match &pre {
+                    Some(p) => act_backward(g, p, act),
+                    None => g.clone(),
+                };
+                let mut grads = vec![
+                    (xid, gz.matmul(&w)),    // [m,n] @ [n,k] = x-grad
+                    (wid, gz.matmul_tn(&x)), // gz^T x = w-grad [n,k]
+                ];
+                if let Some(bid) = bid {
+                    grads.push((bid, gz.sum_axis(0)));
+                }
+                grads
+            }),
+        )
     }
 
     /// Layer normalization over the last axis with affine parameters.
     ///
-    /// `gamma`/`beta` have the shape of the last axis.
+    /// `gamma`/`beta` have the shape of the last axis. The forward pass is
+    /// the one-pass Welford kernel ([`layer_norm_rows`]).
     pub fn layer_norm(&self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
         let v = self.value();
         let last = v.ndim() - 1;
         let d = v.shape()[last];
         let rows = v.len() / d;
 
-        // Forward: normalize each row.
-        let mut norm = pool::alloc_uninit(v.len());
-        let mut inv_std = vec![0.0f32; rows];
-        let src = v.data();
-        for r in 0..rows {
-            let row = &src[r * d..(r + 1) * d];
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
-            let is = 1.0 / (var + eps).sqrt();
-            inv_std[r] = is;
-            for (o, &x) in norm[r * d..(r + 1) * d].iter_mut().zip(row) {
-                *o = (x - mean) * is;
-            }
-        }
+        let (norm, inv_std) = layer_norm_rows(v.data(), rows, d, eps);
         let norm_t = Tensor::from_vec(v.shape().to_vec(), norm);
         let norm_c = norm_t.clone();
 
@@ -60,8 +90,8 @@ impl<'t> Var<'t> {
                 for r in 0..rows {
                     let gs = &gd[r * d..(r + 1) * d];
                     let ns = &nd[r * d..(r + 1) * d];
-                    let mg: f32 = gs.iter().sum::<f32>() / d as f32;
-                    let mgx: f32 = gs.iter().zip(ns).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+                    let mg = simd::sum(gs) / d as f32;
+                    let mgx = simd::dot(gs, ns) / d as f32;
                     for ((o, &gv), &nv) in out[r * d..(r + 1) * d].iter_mut().zip(gs).zip(ns) {
                         *o = (gv - mg - nv * mgx) * inv_std[r];
                     }
@@ -278,6 +308,38 @@ mod tests {
             1e-2,
             21,
         );
+    }
+
+    #[test]
+    fn fused_linear_gelu_grads_match_fd() {
+        check_gradients(
+            &[vec![4, 3], vec![2, 3], vec![2]],
+            |_t, v| v[0].linear_act(v[1], Some(v[2]), Activation::Gelu).square().sum(),
+            2e-2,
+            22,
+        );
+    }
+
+    #[test]
+    fn fused_linear_relu_grads_match_fd() {
+        // ReLU kink: the seeded inputs keep pre-activations away from 0.
+        check_gradients(
+            &[vec![3, 4], vec![2, 4]],
+            |_t, v| v[0].linear_act(v[1], None, Activation::Relu).square().sum(),
+            2e-2,
+            24,
+        );
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_graph() {
+        let tape = Tape::new();
+        let x = tape.leaf(randn(&[5, 7], 31));
+        let w = tape.leaf(randn(&[4, 7], 32));
+        let b = tape.leaf(randn(&[4], 33));
+        let fused = x.linear_act(w, Some(b), Activation::Gelu);
+        let unfused = x.matmul(w.transpose2()).add(b).gelu();
+        fused.value().assert_close(&unfused.value(), 1e-4);
     }
 
     #[test]

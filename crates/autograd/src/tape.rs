@@ -380,9 +380,18 @@ impl<'t> Var<'t> {
     pub fn matmul(&self, other: Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let y = av.matmul(&bv);
-        self.binary(other, y, move |g| {
-            (g.matmul(&bv.transpose2()), av.transpose2().matmul(g))
-        })
+        // Adjoints g B^T and A^T g go through the stride-aware kernels —
+        // no transpose is ever materialized on the backward path.
+        self.binary(other, y, move |g| (g.matmul_nt(&bv), av.matmul_tn(g)))
+    }
+
+    /// `self @ other^T` for 2-d vars (`self [m,k]`, `other [n,k]`) without
+    /// materializing the transpose — the natural op for attention scores
+    /// `Q K^T` and for linear layers with `[out, in]` weights.
+    pub fn matmul_nt(&self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let y = av.matmul_nt(&bv);
+        self.binary(other, y, move |g| (g.matmul(&bv), g.matmul_tn(&av)))
     }
 
     /// Row-softmax along the last axis.

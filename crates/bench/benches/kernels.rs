@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
+use orbit2_tensor::bf16::bf16_round_slice;
 use orbit2_tensor::conv::{conv2d, ConvGeom};
+use orbit2_tensor::fused::{layer_norm_rows, matmul_bias_act, softmax_rows, Activation};
 use orbit2_tensor::random::randn;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -15,6 +17,85 @@ fn bench_matmul(c: &mut Criterion) {
         let b = randn(&[n, n], 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+/// Fused linear+GELU epilogue vs the unfused GEMM → bias → GELU chain:
+/// the BENCH_kernels.json pair `fused_linear_gelu/N` vs
+/// `unfused_linear_gelu/N` records the epilogue-fusion win.
+fn bench_fused_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_linear_gelu");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let x = randn(&[n, n], 11);
+        let w = randn(&[n, n], 12);
+        let b = randn(&[n], 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul_bias_act(&x, &w, Some(&b), Activation::Gelu))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("unfused_linear_gelu");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let x = randn(&[n, n], 11);
+        let w = randn(&[n, n], 12);
+        let b = randn(&[n], 13).into_reshape(vec![1, n]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| x.matmul(&w.transpose2()).add(&b).gelu())
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_norm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_norm");
+    group.sample_size(10);
+    for &(rows, d) in &[(1024usize, 256usize), (4096, 512)] {
+        let x = randn(&[rows, d], 21);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{d}")),
+            &d,
+            |bench, _| bench.iter(|| layer_norm_rows(x.data(), rows, d, 1e-5)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(10);
+    for &(rows, d) in &[(1024usize, 256usize), (4096, 512)] {
+        let x = randn(&[rows, d], 22);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{d}")),
+            &d,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut buf = x.data().to_vec();
+                    softmax_rows(&mut buf, d);
+                    buf
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bf16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bf16_round");
+    group.sample_size(10);
+    for &n in &[1usize << 16, 1 << 20] {
+        let x = randn(&[n], 23);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut buf = x.data().to_vec();
+                bf16_round_slice(&mut buf);
+                buf
+            })
         });
     }
     group.finish();
@@ -70,5 +151,16 @@ fn bench_synth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_conv, bench_quadtree, bench_fft, bench_synth);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_fused_linear,
+    bench_layer_norm,
+    bench_softmax,
+    bench_bf16,
+    bench_conv,
+    bench_quadtree,
+    bench_fft,
+    bench_synth
+);
 criterion_main!(benches);

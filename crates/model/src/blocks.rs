@@ -35,16 +35,19 @@ pub fn self_attention<'t>(
 ) -> Var<'t> {
     let d = cfg.embed_dim;
     let dh = cfg.head_dim();
-    let q = x.matmul(binder.param(&format!("{prefix}.attn.wq")).transpose2());
-    let k = x.matmul(binder.param(&format!("{prefix}.attn.wk")).transpose2());
-    let v = x.matmul(binder.param(&format!("{prefix}.attn.wv")).transpose2());
+    // Q/K/V projections through the fused linear path (packed `x W^T`
+    // kernel, no weight transpose materialized).
+    let q = x.linear(binder.param(&format!("{prefix}.attn.wq")), None);
+    let k = x.linear(binder.param(&format!("{prefix}.attn.wk")), None);
+    let v = x.linear(binder.param(&format!("{prefix}.attn.wv")), None);
     let scale = 1.0 / (dh as f32).sqrt();
     let mut heads = Vec::with_capacity(cfg.heads);
     for h in 0..cfg.heads {
         let qh = q.slice_axis(1, h * dh, dh);
         let kh = k.slice_axis(1, h * dh, dh);
         let vh = v.slice_axis(1, h * dh, dh);
-        let scores = qh.matmul(kh.transpose2()).scale(scale);
+        // Q K^T straight from row-major storage via the nt kernel.
+        let scores = qh.matmul_nt(kh).scale(scale);
         let probs = scores.softmax_last();
         heads.push(probs.matmul(vh));
     }
@@ -56,14 +59,14 @@ pub fn self_attention<'t>(
     )
 }
 
-/// Two-layer GELU MLP.
+/// Two-layer GELU MLP. The first layer runs GEMM + bias + GELU as one
+/// fused kernel with the pre-activation stored for backward.
 pub fn mlp<'t>(binder: &Binder<'t, '_>, prefix: &str, x: Var<'t>) -> Var<'t> {
-    let h = x
-        .linear(
-            binder.param(&format!("{prefix}.mlp.w1")),
-            Some(binder.param(&format!("{prefix}.mlp.b1"))),
-        )
-        .gelu();
+    let h = x.linear_act(
+        binder.param(&format!("{prefix}.mlp.w1")),
+        Some(binder.param(&format!("{prefix}.mlp.b1"))),
+        orbit2_tensor::fused::Activation::Gelu,
+    );
     h.linear(
         binder.param(&format!("{prefix}.mlp.w2")),
         Some(binder.param(&format!("{prefix}.mlp.b2"))),
@@ -118,14 +121,14 @@ pub fn cross_attention_aggregate<'t>(
         sum = sum.add(*t);
     }
     let mean = sum.scale(1.0 / c as f32);
-    let q = mean.matmul(binder.param("xattn.wq").transpose2());
+    let q = mean.linear(binder.param("xattn.wq"), None);
     let scale = 1.0 / (d as f32).sqrt();
     let ones = binder.constant(Tensor::ones(vec![d, 1]));
     let mut scores = Vec::with_capacity(c);
     let mut values = Vec::with_capacity(c);
     for t in tokens {
-        let k = t.matmul(binder.param("xattn.wk").transpose2());
-        values.push(t.matmul(binder.param("xattn.wv").transpose2()));
+        let k = t.linear(binder.param("xattn.wk"), None);
+        values.push(t.linear(binder.param("xattn.wv"), None));
         // Row-wise dot product q·k -> [N, 1].
         scores.push(q.mul(k).matmul(ones).scale(scale));
     }

@@ -9,6 +9,7 @@
 //! proves numerical equivalence to the naive kernel.
 
 use crate::pool::{self, Buffer};
+use crate::simd;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -72,38 +73,30 @@ pub fn flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, cfg: AttentionConfig)
         let mut s = Buffer::zeroed(rows * bc);
         for k0 in (0..sk).step_by(bc) {
             let kc = bc.min(sk - k0);
-            // S = Q_block * K_block^T * scale
+            // S = Q_block * K_block^T * scale — one SIMD dot per (q, k) pair.
             for i in 0..rows {
                 let q_row = &qd[(q0 + i) * d..(q0 + i + 1) * d];
                 for j in 0..kc {
                     let k_row = &kd[(k0 + j) * d..(k0 + j + 1) * d];
-                    let mut dot = 0.0f32;
-                    for (a, b) in q_row.iter().zip(k_row) {
-                        dot += a * b;
-                    }
-                    s[i * bc + j] = dot * scale;
+                    s[i * bc + j] = simd::dot(q_row, k_row) * scale;
                 }
             }
             // Online softmax rescale + accumulate O += P * V_block.
             for i in 0..rows {
                 let row_scores = &s[i * bc..i * bc + kc];
-                let block_max = row_scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let block_max = simd::max_value(row_scores);
                 let new_m = m[i].max(block_max);
                 let correction = (m[i] - new_m).exp();
                 let o_row = &mut o_block[i * d..(i + 1) * d];
                 if correction != 1.0 {
-                    for x in o_row.iter_mut() {
-                        *x *= correction;
-                    }
+                    simd::scale(o_row, correction);
                 }
                 let mut block_l = 0.0f32;
                 for j in 0..kc {
                     let p = (row_scores[j] - new_m).exp();
                     block_l += p;
                     let v_row = &vd[(k0 + j) * d..(k0 + j + 1) * d];
-                    for (o, &vv) in o_row.iter_mut().zip(v_row) {
-                        *o += p * vv;
-                    }
+                    simd::axpy(o_row, p, v_row);
                 }
                 l[i] = l[i] * correction + block_l;
                 m[i] = new_m;
@@ -111,10 +104,7 @@ pub fn flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, cfg: AttentionConfig)
         }
         // Final normalization.
         for i in 0..rows {
-            let inv = 1.0 / l[i];
-            for x in &mut o_block[i * d..(i + 1) * d] {
-                *x *= inv;
-            }
+            simd::scale(&mut o_block[i * d..(i + 1) * d], 1.0 / l[i]);
         }
     });
     Tensor::from_vec(vec![sq, d], out)

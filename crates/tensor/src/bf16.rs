@@ -6,6 +6,8 @@
 //! truncated bits), which reproduces BF16's precision loss while keeping all
 //! arithmetic in `f32` — the same trick PyTorch uses for CPU BF16 emulation.
 
+use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Whether a computation runs in full or emulated-BF16 precision.
@@ -30,16 +32,43 @@ pub fn bf16_round(x: f32) -> f32 {
     f32::from_bits(rounded)
 }
 
+/// Round every element of a slice to BF16 precision, in place.
+///
+/// The branchless integer formulation (round bias + mask, with a select to
+/// pass non-finite values through unchanged) vectorizes: the whole body is
+/// straight-line `u32` arithmetic, so LLVM turns it into 8-wide integer ops
+/// where the scalar [`bf16_round`]'s early return blocks that. Semantics
+/// are bit-identical to mapping `bf16_round`.
+pub fn bf16_round_slice(dst: &mut [f32]) {
+    if !simd::enabled() {
+        for v in dst.iter_mut() {
+            *v = bf16_round(*v);
+        }
+        return;
+    }
+    for v in dst.iter_mut() {
+        let bits = v.to_bits();
+        let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+        let rounded = bits.wrapping_add(rounding_bias) & 0xFFFF_0000;
+        // Exponent all-ones => inf/NaN: keep the original bits.
+        let nonfinite = (bits & 0x7F80_0000) == 0x7F80_0000;
+        *v = f32::from_bits(if nonfinite { bits } else { rounded });
+    }
+}
+
 impl Tensor {
     /// Quantize every element to BF16 precision (returns a new tensor).
     pub fn to_bf16(&self) -> Tensor {
-        self.map(bf16_round)
+        let mut out = pool::alloc_uninit(self.len());
+        out.copy_from_slice(self.data());
+        bf16_round_slice(&mut out);
+        Tensor::from_vec(self.shape().to_vec(), out)
     }
 
     /// Quantize in place when `mode` is [`Bf16Mode::Emulated`].
     pub fn apply_precision(&mut self, mode: Bf16Mode) {
         if mode == Bf16Mode::Emulated {
-            self.map_inplace(bf16_round);
+            bf16_round_slice(self.data_mut());
         }
     }
 }
@@ -89,6 +118,19 @@ mod tests {
         assert!(bf16_round(f32::NAN).is_nan());
         assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
         assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn slice_round_matches_scalar_bitwise() {
+        use crate::random::randn;
+        let t = randn(&[257], 42);
+        let mut v = t.data().to_vec();
+        v.extend([f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0, f32::MIN_POSITIVE]);
+        let mut rounded = v.clone();
+        bf16_round_slice(&mut rounded);
+        for (&orig, &got) in v.iter().zip(&rounded) {
+            assert_eq!(got.to_bits(), bf16_round(orig).to_bits(), "input {orig}");
+        }
     }
 
     #[test]

@@ -167,15 +167,20 @@ pub fn conv2d_grad_weight(grad_out: &Tensor, input: &Tensor, weight_shape: &[usi
         .map(|ni| {
             let mut cols = Buffer::uninit(krows * ncols);
             im2col_plane(&src[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, &mut cols);
-            // grad_w[o, krows] = grad_out[o, ncols] * cols^T[ncols, krows]
-            let mut colst = Buffer::uninit(ncols * krows);
-            for r in 0..krows {
-                for cc in 0..ncols {
-                    colst[cc * krows + r] = cols[r * ncols + cc];
-                }
-            }
+            // grad_w[o, krows] = grad_out[o, ncols] * cols^T[ncols, krows];
+            // the stride-aware kernel packs cols^T straight from `cols`.
             let mut gw = vec![0.0f32; o * krows];
-            matmul_slices_seq(&god[ni * o * ncols..(ni + 1) * o * ncols], &colst, &mut gw, o, ncols, krows);
+            crate::matmul::gemm(
+                &god[ni * o * ncols..(ni + 1) * o * ncols],
+                crate::matmul::MatLayout::row_major(ncols),
+                &cols,
+                crate::matmul::MatLayout::transposed(ncols),
+                &mut gw,
+                o,
+                ncols,
+                krows,
+                false,
+            );
             gw
         })
         .collect();

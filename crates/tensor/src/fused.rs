@@ -1,0 +1,412 @@
+//! Fused transformer kernels: GEMM epilogues, one-pass layer norm, softmax.
+//!
+//! Each kernel here eliminates whole memory passes over activation buffers
+//! relative to composing the primitive ops:
+//!
+//! * [`matmul_bias_act`] — a linear layer (`y = act(x W^T + b)`) whose bias
+//!   add and activation run as a GEMM *epilogue*, per macro-block of rows,
+//!   while the freshly computed C block is still cache-hot. The unfused
+//!   composition writes `x W^T` to memory, re-reads it to add the bias,
+//!   re-reads it again for the activation — three full traversals of an
+//!   `[m, n]` buffer collapsed into one.
+//! * [`layer_norm_rows`] — mean and variance in a single Welford pass
+//!   (lane-wise, merged with Chan's parallel-combine formula) instead of the
+//!   classic two-pass mean-then-variance sweep.
+//! * [`softmax_rows`] — max, exp and normalize over the last axis with the
+//!   max and scale passes vectorized.
+//!
+//! Epilogues that apply a non-linear activation also return the
+//! *pre-activation* tensor: the tape needs `act'(pre)` for the backward
+//! pass, and recomputing `x W^T + b` there would cost a second GEMM.
+//! Everything falls back to the scalar reference path under
+//! `ORBIT2_DISABLE_SIMD=1` (the GEMM dispatches internally; the epilogues
+//! are shape-identical either way).
+
+use crate::matmul::{gemm, gemm_rows_packed_b, pack_b_full, packed_eligible, MatLayout};
+use crate::ops::{gelu_grad_scalar, gelu_scalar};
+use crate::pool;
+use crate::simd::{self, F32x8, LANES};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows per fused macro-block: one GEMM + epilogue unit of work.
+const ROW_BLOCK: usize = 72;
+
+/// Activation applied by a fused GEMM epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No activation (plain linear layer).
+    #[default]
+    Identity,
+    /// `max(0, x)`.
+    Relu,
+    /// Tanh-approximated GELU (matches [`Tensor::gelu`]).
+    Gelu,
+}
+
+impl Activation {
+    /// `act(x)`.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => gelu_scalar(x),
+        }
+    }
+
+    /// `act'(pre)` evaluated at the stored pre-activation.
+    #[inline]
+    pub fn grad(self, pre: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Gelu => gelu_grad_scalar(pre),
+        }
+    }
+}
+
+/// Fused linear layer: `y = act(x W^T + bias)`.
+///
+/// `x` is `[m, k]`, `w` is `[n, k]` (PyTorch `[out, in]` convention — packed
+/// straight from its storage, no transpose materialized), `bias` is `[n]`.
+/// Returns `(y, pre)` where `pre` is the pre-activation `x W^T + bias`,
+/// stored only when a non-identity activation consumed it (the tape needs it
+/// for `act'`; for identity `pre == y` and is elided).
+pub fn matmul_bias_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Activation,
+) -> (Tensor, Option<Tensor>) {
+    assert_eq!(x.ndim(), 2, "matmul_bias_act input must be 2-d");
+    assert_eq!(w.ndim(), 2, "matmul_bias_act weight must be 2-d");
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let (n, k2) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(k, k2, "matmul_bias_act dims: x {:?} vs w {:?}", x.shape(), w.shape());
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "bias length {} != out features {n}", b.len());
+    }
+    let xd = x.data();
+    let wd = w.data();
+    let bd = bias.map(|b| b.data());
+
+    let mut out = pool::alloc_zeroed(m * n);
+    let mut pre = (act != Activation::Identity).then(|| pool::alloc_uninit(m * n));
+
+    // W^T is packed into microkernel strips once and shared read-only by
+    // every row block — without the hoist each block's GEMM call would
+    // re-pack all of B (`m / ROW_BLOCK` redundant packs).
+    let packed = packed_eligible(m, k, n);
+    let bpack = packed.then(|| pack_b_full(wd, MatLayout::transposed(k), k, n));
+
+    // One macro-block = a row-block GEMM followed immediately by its
+    // epilogue, so bias/pre/activation touch the C block while it is hot.
+    let body = |bi: usize, oc: &mut [f32], preb: Option<&mut [f32]>| {
+        let i0 = bi * ROW_BLOCK;
+        let rows = oc.len() / n;
+        match &bpack {
+            Some(bp) => {
+                gemm_rows_packed_b(xd, MatLayout::row_major(k), i0, bp, oc, k, n);
+            }
+            None => gemm(
+                &xd[i0 * k..(i0 + rows) * k],
+                MatLayout::row_major(k),
+                wd,
+                MatLayout::transposed(k),
+                oc,
+                rows,
+                k,
+                n,
+                false,
+            ),
+        }
+        if let Some(b) = bd {
+            for row in oc.chunks_exact_mut(n) {
+                add_assign(row, b);
+            }
+        }
+        if let Some(p) = preb {
+            p.copy_from_slice(oc);
+        }
+        match act {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for v in oc.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Gelu => {
+                for v in oc.iter_mut() {
+                    *v = gelu_scalar(*v);
+                }
+            }
+        }
+    };
+
+    match pre.as_mut() {
+        Some(p) => out
+            .par_chunks_mut(ROW_BLOCK * n)
+            .zip(p.par_chunks_mut(ROW_BLOCK * n))
+            .enumerate()
+            .for_each(|(bi, (oc, pc))| body(bi, oc, Some(pc))),
+        None => out
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(bi, oc)| body(bi, oc, None)),
+    }
+
+    let y = Tensor::from_vec(vec![m, n], out);
+    let pre = pre.map(|p| Tensor::from_vec(vec![m, n], p));
+    (y, pre)
+}
+
+/// `g ⊙ act'(pre)` — the elementwise start of the fused-linear backward.
+pub fn act_backward(g: &Tensor, pre: &Tensor, act: Activation) -> Tensor {
+    assert_eq!(g.shape(), pre.shape());
+    let gd = g.data();
+    let pd = pre.data();
+    let mut out = pool::alloc_uninit(gd.len());
+    for ((o, &gv), &pv) in out.iter_mut().zip(gd).zip(pd) {
+        *o = gv * act.grad(pv);
+    }
+    Tensor::from_vec(g.shape().to_vec(), out)
+}
+
+/// `dst += src` elementwise (vectorized bias add).
+#[inline]
+fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    if !simd::enabled() {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+        return;
+    }
+    let mut dc = dst.chunks_exact_mut(LANES);
+    let mut sc = src.chunks_exact(LANES);
+    for (d, s) in dc.by_ref().zip(sc.by_ref()) {
+        F32x8::load(d).add(F32x8::load(s)).store(d);
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d += s;
+    }
+}
+
+/// One-pass Welford layer norm over the last axis.
+///
+/// `src` is `rows` rows of length `d`. Returns `(norm, inv_std)` where
+/// `norm[r]` is the normalized row `(x - mean) / sqrt(var + eps)` and
+/// `inv_std[r] = 1 / sqrt(var + eps)` (kept for the backward pass).
+///
+/// Mean and variance come from a single traversal: eight lane-wise Welford
+/// streams over the vector body, merged with Chan's combine formula, then
+/// the scalar tail folded in the same way. The classic two-pass formulation
+/// reads the row twice before the normalize write; this reads it once.
+pub fn layer_norm_rows(src: &[f32], rows: usize, d: usize, eps: f32) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(src.len(), rows * d);
+    let mut norm = pool::alloc_uninit(rows * d);
+    let mut inv_std = pool::alloc_uninit(rows);
+    norm.par_chunks_mut(d).zip(inv_std.par_iter_mut()).enumerate().for_each(
+        |(r, (nrow, istd))| {
+            let row = &src[r * d..(r + 1) * d];
+            let (mean, var) = welford_mean_var(row);
+            let is = 1.0 / (var + eps).sqrt();
+            *istd = is;
+            if simd::enabled() {
+                let mv = F32x8::splat(mean);
+                let sv = F32x8::splat(is);
+                let mut nc = nrow.chunks_exact_mut(LANES);
+                let mut rc = row.chunks_exact(LANES);
+                for (nd, rd) in nc.by_ref().zip(rc.by_ref()) {
+                    F32x8::load(rd).sub(mv).mul(sv).store(nd);
+                }
+                for (nd, &rv) in nc.into_remainder().iter_mut().zip(rc.remainder()) {
+                    *nd = (rv - mean) * is;
+                }
+            } else {
+                for (nd, &rv) in nrow.iter_mut().zip(row) {
+                    *nd = (rv - mean) * is;
+                }
+            }
+        },
+    );
+    (norm, inv_std)
+}
+
+/// Single-pass mean and population variance of a slice (Welford).
+pub fn welford_mean_var(row: &[f32]) -> (f32, f32) {
+    let d = row.len();
+    if d == 0 {
+        return (0.0, 0.0);
+    }
+    if !simd::enabled() || d < 2 * LANES {
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for (i, &x) in row.iter().enumerate() {
+            let x = x as f64;
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        return (mean as f32, (m2 / d as f64) as f32);
+    }
+    // Eight parallel Welford streams: lane `l` accumulates elements
+    // `l, l+8, l+16, ...` of the vector body.
+    let mut mean = F32x8::ZERO;
+    let mut m2 = F32x8::ZERO;
+    let mut chunks = row.chunks_exact(LANES);
+    let mut t = 0.0f32;
+    for ch in chunks.by_ref() {
+        t += 1.0;
+        let x = F32x8::load(ch);
+        let delta = x.sub(mean);
+        mean = mean.add(delta.mul(F32x8::splat(1.0 / t)));
+        m2 = m2.add(delta.mul(x.sub(mean)));
+    }
+    // Merge the eight lane statistics (Chan's pairwise combine).
+    let means = mean.to_array();
+    let m2s = m2.to_array();
+    let mut cmean = means[0] as f64;
+    let mut cm2 = m2s[0] as f64;
+    let mut cn = t as f64;
+    for l in 1..LANES {
+        (cmean, cm2, cn) = chan_combine(cmean, cm2, cn, means[l] as f64, m2s[l] as f64, t as f64);
+    }
+    // Fold in the scalar tail with per-element Welford updates.
+    for &x in chunks.remainder() {
+        let x = x as f64;
+        cn += 1.0;
+        let delta = x - cmean;
+        cmean += delta / cn;
+        cm2 += delta * (x - cmean);
+    }
+    (cmean as f32, (cm2 / d as f64) as f32)
+}
+
+/// Chan's parallel combine for two Welford partials.
+#[inline]
+fn chan_combine(ma: f64, m2a: f64, na: f64, mb: f64, m2b: f64, nb: f64) -> (f64, f64, f64) {
+    let n = na + nb;
+    let delta = mb - ma;
+    let mean = ma + delta * nb / n;
+    let m2 = m2a + m2b + delta * delta * na * nb / n;
+    (mean, m2, n)
+}
+
+/// In-place softmax over contiguous rows of length `inner`: for each row,
+/// subtract the max, exponentiate, and scale by the inverse sum — the max
+/// scan and the normalize pass run on [`F32x8`] lanes.
+pub fn softmax_rows(dst: &mut [f32], inner: usize) {
+    debug_assert_eq!(dst.len() % inner.max(1), 0);
+    if inner == 0 {
+        return;
+    }
+    dst.par_chunks_mut(inner).for_each(|row| {
+        let mx = simd::max_value(row);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        simd::scale(row, 1.0 / sum);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn;
+
+    #[test]
+    fn fused_linear_matches_unfused_composition() {
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (72, 64, 48), (73, 33, 17)] {
+            let x = randn(&[m, k], 1);
+            let w = randn(&[n, k], 2);
+            let b = randn(&[n], 3);
+            let (y, pre) = matmul_bias_act(&x, &w, Some(&b), Activation::Gelu);
+            let expect = x.matmul(&w.transpose2()).add(&b.reshape(vec![1, n])).gelu();
+            y.assert_close(&expect, 1e-4 * (k as f32).sqrt());
+            let pre = pre.expect("gelu epilogue stores pre-activation");
+            let expect_pre = x.matmul(&w.transpose2()).add(&b.reshape(vec![1, n]));
+            pre.assert_close(&expect_pre, 1e-4 * (k as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn identity_no_bias_elides_pre() {
+        let x = randn(&[4, 6], 4);
+        let w = randn(&[5, 6], 5);
+        let (y, pre) = matmul_bias_act(&x, &w, None, Activation::Identity);
+        assert!(pre.is_none());
+        y.assert_close(&x.matmul(&w.transpose2()), 1e-4);
+    }
+
+    #[test]
+    fn relu_epilogue_clamps() {
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, -1.0]);
+        let w = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let (y, pre) = matmul_bias_act(&x, &w, None, Activation::Relu);
+        assert_eq!(y.data(), &[1.0, 0.0]);
+        assert_eq!(pre.unwrap().data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        for n in [1usize, 7, 8, 16, 100, 257] {
+            let t = randn(&[n], 11);
+            let row = t.data();
+            let mean_ref: f32 = row.iter().sum::<f32>() / n as f32;
+            let var_ref: f32 =
+                row.iter().map(|&x| (x - mean_ref) * (x - mean_ref)).sum::<f32>() / n as f32;
+            let (mean, var) = welford_mean_var(row);
+            assert!((mean - mean_ref).abs() < 1e-4, "n={n}: {mean} vs {mean_ref}");
+            assert!((var - var_ref).abs() < 1e-3, "n={n}: {var} vs {var_ref}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_normalizes() {
+        let (rows, d) = (6, 37);
+        let t = randn(&[rows, d], 21);
+        let (norm, inv_std) = layer_norm_rows(t.data(), rows, d, 1e-5);
+        assert_eq!(inv_std.len(), rows);
+        for r in 0..rows {
+            let row = &norm[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_matches_reference() {
+        let t = randn(&[5, 13], 31);
+        let mut fused = t.data().to_vec();
+        softmax_rows(&mut fused, 13);
+        let expect = t.softmax_last();
+        for (a, b) in fused.iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let sums: f32 = fused[..13].iter().sum();
+        assert!((sums - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn activation_grads_match_finite_difference() {
+        for act in [Activation::Relu, Activation::Gelu] {
+            for &x in &[-1.5f32, -0.3, 0.2, 1.7] {
+                let h = 1e-3;
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                assert!((act.grad(x) - fd).abs() < 1e-2, "{act:?} at {x}");
+            }
+        }
+    }
+}

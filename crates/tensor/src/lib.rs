@@ -19,21 +19,31 @@
 //! a thread-local buffer pool so hot loops allocate nothing in steady
 //! state, `rayon` parallel iterators over row blocks, and deterministic
 //! seeded randomness. See `DESIGN.md` ("Memory model") for the ownership
-//! rules.
+//! rules and §"Compute model" for the packed GEMM / fused-kernel layer.
+//!
+//! The kernel layer ([`simd`], [`matmul`], [`fused`]) is written entirely in
+//! safe Rust — explicit lane-array vectors instead of intrinsics — so the
+//! crate forbids `unsafe` outright.
+
+#![forbid(unsafe_code)]
 
 pub mod attention;
 pub mod bf16;
 pub mod conv;
+pub mod fused;
 pub mod matmul;
 pub mod ops;
 pub mod pool;
 pub mod random;
 pub mod resize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use attention::{flash_attention, naive_attention, AttentionConfig};
 pub use bf16::{bf16_round, Bf16Mode};
+pub use fused::{matmul_bias_act, Activation};
+pub use matmul::MatLayout;
 pub use pool::{Buffer, PoolStats};
 pub use shape::{broadcast_shapes, strides_for, Shape, ShapeHandle};
 pub use tensor::Tensor;

@@ -275,32 +275,14 @@ impl Tensor {
     }
 
     /// Softmax along the last axis, numerically stabilized.
+    ///
+    /// Delegates to the fused kernel ([`crate::fused::softmax_rows`]): max
+    /// scan and normalize run on SIMD lanes, in place on the output buffer.
     pub fn softmax_last(&self) -> Tensor {
         let inner = *self.shape().last().expect("softmax on 0-d tensor");
-        let rows = self.len() / inner;
         let mut out = pool::alloc_uninit(self.len());
-        let src = self.data();
-        let row_kernel = |(r, dst): (usize, &mut [f32])| {
-            let row = &src[r * inner..(r + 1) * inner];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for (d, &x) in dst.iter_mut().zip(row) {
-                let e = (x - m).exp();
-                *d = e;
-                z += e;
-            }
-            let inv = 1.0 / z;
-            for d in dst.iter_mut() {
-                *d *= inv;
-            }
-        };
-        if self.len() >= PAR_THRESHOLD && rows > 1 {
-            out.par_chunks_mut(inner).enumerate().for_each(|(r, dst)| row_kernel((r, dst)));
-        } else {
-            for (r, dst) in out.chunks_mut(inner).enumerate() {
-                row_kernel((r, dst));
-            }
-        }
+        out.copy_from_slice(self.data());
+        crate::fused::softmax_rows(&mut out, inner);
         Tensor::from_shape_handle(self.shape_handle(), out)
     }
 
@@ -310,13 +292,18 @@ impl Tensor {
         let (r, c) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
         let mut out = pool::alloc_uninit(r * c);
-        // Blocked transpose for cache friendliness on large matrices.
+        // Blocked transpose: each 32x32 tile stays in L1 while being
+        // rotated, and the inner loop walks the *output* row so stores are
+        // unit-stride (the strided access lands on the read side, which
+        // caches better than scattered writes).
         const B: usize = 32;
         for i0 in (0..r).step_by(B) {
+            let imax = (i0 + B).min(r);
             for j0 in (0..c).step_by(B) {
-                for i in i0..(i0 + B).min(r) {
-                    for j in j0..(j0 + B).min(c) {
-                        out[j * r + i] = src[i * c + j];
+                for j in j0..(j0 + B).min(c) {
+                    let dst = &mut out[j * r + i0..j * r + imax];
+                    for (d, i) in dst.iter_mut().zip(i0..imax) {
+                        *d = src[i * c + j];
                     }
                 }
             }

@@ -53,3 +53,13 @@ fi
 
 echo "appended bench record to $OUT_JSON"
 jq -r '.[-1].runs[] | .pool as $p | .results[] | "\($p)\t\(.bench)\t\(.median_ns) ns"' "$OUT_JSON"
+
+# Fused-vs-unfused epilogue delta: how much the GEMM+bias+GELU fusion saves
+# over the three-pass composition, from the pool-enabled run just recorded.
+jq -r '
+    .[-1].runs[0].results
+    | (map(select(.bench | startswith("fused_linear_gelu/"))) | map({(.bench | split("/")[1]): .median_ns}) | add // {}) as $f
+    | (map(select(.bench | startswith("unfused_linear_gelu/"))) | map({(.bench | split("/")[1]): .median_ns}) | add // {}) as $u
+    | $f | keys[] | . as $n
+    | "fused_vs_unfused_linear_gelu/\($n)\tfused \($f[$n]) ns\tunfused \($u[$n]) ns\tspeedup \(($u[$n] / $f[$n] * 100 | round) / 100)x"
+' "$OUT_JSON"

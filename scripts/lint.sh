@@ -3,6 +3,9 @@
 # `clippy::redundant_clone` is enabled on top of the default set because the
 # COW tensor refactor makes `.clone()` cheap — a redundant one is now pure
 # noise and usually marks a spot where a COW handle was misunderstood.
+# `unsafe_code` is denied workspace-wide: the SIMD kernel layer is built on
+# safe lane-array structs (orbit2-tensor is `#![forbid(unsafe_code)]`), and
+# no other crate has a reason to reach for `unsafe` either.
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
-exec cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone "$@"
+exec cargo clippy --workspace --all-targets -- -D warnings -D unsafe_code -W clippy::redundant_clone "$@"

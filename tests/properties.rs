@@ -168,6 +168,84 @@ proptest! {
     }
 
     #[test]
+    fn packed_matmul_matches_reference_oracle(m in 1usize..80, k in 1usize..96, n in 1usize..80, seed in 0u64..1000) {
+        // Ragged shapes deliberately straddle the MR/NR/KC panel boundaries
+        // of the packed kernel; matmul_slices is the scalar blocked oracle.
+        use orbit2_tensor::matmul::matmul_slices;
+        let a = orbit2_tensor::random::randn(&[m, k], seed);
+        let b = orbit2_tensor::random::randn(&[k, n], seed + 1);
+        let fast = a.matmul(&b);
+        let mut reference = vec![0.0f32; m * n];
+        matmul_slices(a.data(), b.data(), &mut reference, m, k, n);
+        let r = Tensor::from_vec(vec![m, n], reference);
+        prop_assert!(fast.max_abs_diff(&r) < 1e-3 * (k as f32).sqrt());
+    }
+
+    #[test]
+    fn nt_tn_kernels_match_materialized_transposes(m in 1usize..40, k in 1usize..48, n in 1usize..40, seed in 0u64..1000) {
+        let a = orbit2_tensor::random::randn(&[m, k], seed);
+        let bt = orbit2_tensor::random::randn(&[n, k], seed + 1);
+        let nt = a.matmul_nt(&bt);
+        prop_assert!(nt.max_abs_diff(&a.matmul(&bt.transpose2())) < 1e-3 * (k as f32).sqrt());
+        let at = orbit2_tensor::random::randn(&[k, m], seed + 2);
+        let b = orbit2_tensor::random::randn(&[k, n], seed + 3);
+        let tn = at.matmul_tn(&b);
+        prop_assert!(tn.max_abs_diff(&at.transpose2().matmul(&b)) < 1e-3 * (k as f32).sqrt());
+    }
+
+    #[test]
+    fn fused_linear_gelu_matches_unfused(m in 1usize..32, k in 1usize..24, n in 1usize..32, seed in 0u64..1000) {
+        use orbit2_tensor::fused::{matmul_bias_act, Activation};
+        let x = orbit2_tensor::random::randn(&[m, k], seed);
+        let w = orbit2_tensor::random::randn(&[n, k], seed + 1);
+        let b = orbit2_tensor::random::randn(&[n], seed + 2);
+        let (y, pre) = matmul_bias_act(&x, &w, Some(&b), Activation::Gelu);
+        let pre_ref = x.matmul(&w.transpose2()).add(&b.into_reshape(vec![1, n]));
+        let y_ref = pre_ref.gelu();
+        prop_assert!(y.max_abs_diff(&y_ref) < 1e-3 * (k as f32).sqrt());
+        prop_assert!(pre.unwrap().max_abs_diff(&pre_ref) < 1e-3 * (k as f32).sqrt());
+    }
+
+    #[test]
+    fn fused_layer_norm_matches_two_pass(rows in 1usize..12, d in 2usize..48, seed in 0u64..1000) {
+        use orbit2_tensor::fused::layer_norm_rows;
+        let x = orbit2_tensor::random::randn(&[rows, d], seed).mul_scalar(3.0).add_scalar(5.0);
+        let (norm, inv_std) = layer_norm_rows(x.data(), rows, d, 1e-5);
+        for r in 0..rows {
+            let row = &x.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + 1e-5).sqrt();
+            prop_assert!((inv_std[r] - is).abs() < 1e-2 * is, "row {} inv_std", r);
+            for (j, &nv) in norm[r * d..(r + 1) * d].iter().enumerate() {
+                prop_assert!((nv - (row[j] - mean) * is).abs() < 1e-2, "row {} col {}", r, j);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_softmax_matches_unfused(rows in 1usize..10, d in 1usize..40, seed in 0u64..1000) {
+        use orbit2_tensor::fused::softmax_rows;
+        let x = orbit2_tensor::random::randn(&[rows, d], seed).mul_scalar(4.0);
+        let mut buf = x.data().to_vec();
+        softmax_rows(&mut buf, d);
+        let reference = x.softmax_last();
+        for (a, b) in buf.iter().zip(reference.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bf16_slice_matches_scalar_map(values in proptest::collection::vec(-1e6f32..1e6, 1..96)) {
+        use orbit2_tensor::bf16::{bf16_round, bf16_round_slice};
+        let mut rounded = values.clone();
+        bf16_round_slice(&mut rounded);
+        for (&orig, &got) in values.iter().zip(&rounded) {
+            prop_assert_eq!(got.to_bits(), bf16_round(orig).to_bits());
+        }
+    }
+
+    #[test]
     fn cow_clone_mutation_never_changes_original((field, h, w) in small_field(16), s in -2.0f32..2.0) {
         // Tensors share storage on clone; any mutation path (in-place ops or
         // raw data_mut) must fault the clone into private storage first.

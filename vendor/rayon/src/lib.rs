@@ -16,6 +16,12 @@
 //! items are processed exactly once, `collect` preserves order, and worker
 //! panics propagate to the caller.
 
+// The workspace lint gate denies `unsafe_code`; this shim carries the one
+// audited exception (the scoped-job lifetime transmute in `run_jobs`, made
+// sound by the completion latch that joins every job before the caller's
+// frame unwinds).
+#![allow(unsafe_code)]
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
