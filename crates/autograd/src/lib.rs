@@ -26,7 +26,7 @@ pub mod params;
 pub mod scaler;
 pub mod tape;
 
-pub use optim::{Adam, AdamW, Optimizer, Sgd};
-pub use params::ParamStore;
-pub use scaler::GradScaler;
+pub use optim::{Adam, AdamState, AdamW, Optimizer, Sgd};
+pub use params::{ParamStore, TensorBits};
+pub use scaler::{GradScaler, ScalerState};
 pub use tape::{Gradients, Tape, Var};

@@ -40,6 +40,12 @@ impl ParamStore {
             .unwrap_or_else(|| panic!("unknown parameter {name}"))
     }
 
+    /// Get a parameter by name, returning `None` when absent (the
+    /// non-panicking lookup checkpoint validation uses).
+    pub fn try_get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
     /// Mutable access to a parameter by name.
     pub fn get_mut(&mut self, name: &str) -> &mut Tensor {
         self.entries
@@ -95,6 +101,16 @@ impl ParamStore {
         std::fs::write(path, json)
     }
 
+    /// Bit-exact snapshot of every parameter for checkpointing.
+    pub fn to_bits(&self) -> BitsMap {
+        tensors_to_bits(self.entries.iter())
+    }
+
+    /// Rebuild a store from a bit-exact snapshot.
+    pub fn from_bits(map: &BitsMap) -> Result<Self, String> {
+        Ok(Self { entries: tensors_from_bits(map)? })
+    }
+
     /// Load from a JSON checkpoint.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
@@ -105,6 +121,61 @@ impl ParamStore {
         }
         Ok(store)
     }
+}
+
+/// Bit-exact serializable snapshot of a tensor: shape plus the raw IEEE-754
+/// bit pattern of every element. Unlike the JSON float path (which cannot
+/// represent NaN/Inf), this round-trips *any* tensor exactly — the property
+/// crash-consistent checkpoints need for bit-identical resume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorBits {
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// `f32::to_bits` of every element in row-major order.
+    pub bits: Vec<u32>,
+}
+
+impl TensorBits {
+    /// Snapshot a tensor.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        Self {
+            shape: t.shape().to_vec(),
+            bits: t.data().iter().map(|x| x.to_bits()).collect(),
+        }
+    }
+
+    /// Reconstruct the tensor, validating that the shape matches the data.
+    pub fn to_tensor(&self) -> Result<Tensor, String> {
+        let expect: usize = self.shape.iter().product();
+        if expect != self.bits.len() {
+            return Err(format!(
+                "tensor snapshot shape {:?} needs {expect} elements, found {}",
+                self.shape,
+                self.bits.len()
+            ));
+        }
+        let data: Vec<f32> = self.bits.iter().map(|b| f32::from_bits(*b)).collect();
+        Ok(Tensor::from_vec(self.shape.clone(), data))
+    }
+}
+
+/// Bit-exact snapshot of a name→tensor map (parameters, gradients, Adam
+/// moments) for checkpointing.
+pub type BitsMap = BTreeMap<String, TensorBits>;
+
+/// Snapshot a name→tensor map bit-exactly.
+pub fn tensors_to_bits<'a>(iter: impl Iterator<Item = (&'a String, &'a Tensor)>) -> BitsMap {
+    iter.map(|(k, v)| (k.clone(), TensorBits::from_tensor(v))).collect()
+}
+
+/// Reconstruct a name→tensor map from a bit-exact snapshot.
+pub fn tensors_from_bits(map: &BitsMap) -> Result<BTreeMap<String, Tensor>, String> {
+    map.iter()
+        .map(|(k, v)| {
+            let t = v.to_tensor().map_err(|e| format!("tensor `{k}`: {e}"))?;
+            Ok((k.clone(), t))
+        })
+        .collect()
 }
 
 /// A name→gradient map as produced by a backward pass over a model.
@@ -185,5 +256,31 @@ mod tests {
     #[should_panic(expected = "unknown parameter")]
     fn missing_param_panics() {
         ParamStore::new().get("nope");
+    }
+
+    #[test]
+    fn tensor_bits_round_trips_nan_and_negative_zero() {
+        let t = Tensor::from_vec(vec![4], vec![f32::NAN, f32::INFINITY, -0.0, 1.5e-40]);
+        let back = TensorBits::from_tensor(&t).to_tensor().unwrap();
+        let (a, b) = (t.data(), back.data());
+        for i in 0..a.len() {
+            assert_eq!(a[i].to_bits(), b[i].to_bits(), "element {i} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn tensor_bits_rejects_shape_data_mismatch() {
+        let snap = TensorBits { shape: vec![2, 3], bits: vec![0; 5] };
+        assert!(snap.to_tensor().is_err());
+    }
+
+    #[test]
+    fn param_store_bits_round_trip() {
+        let mut p = ParamStore::new();
+        p.insert("w", Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, f32::NAN, 0.1]));
+        let q = ParamStore::from_bits(&p.to_bits()).unwrap();
+        assert_eq!(q.get("w").shape(), &[2, 2]);
+        assert_eq!(q.get("w").data()[1], -2.5);
+        assert!(q.get("w").data()[2].is_nan());
     }
 }

@@ -8,6 +8,7 @@
 //! steps.
 
 use crate::params::GradMap;
+use serde::{Deserialize, Serialize};
 
 /// Dynamic loss/gradient scaler.
 #[derive(Debug, Clone)]
@@ -56,6 +57,23 @@ impl GradScaler {
         loss * self.scale
     }
 
+    /// Bit-exact snapshot of the scaler state for checkpointing. Growth and
+    /// backoff factors are configuration, reconstructed by the loader.
+    pub fn export_state(&self) -> ScalerState {
+        ScalerState {
+            scale_bits: self.scale.to_bits(),
+            good_steps: self.good_steps,
+            skipped_steps: self.skipped_steps,
+        }
+    }
+
+    /// Restore state captured by [`GradScaler::export_state`].
+    pub fn import_state(&mut self, state: &ScalerState) {
+        self.scale = f32::from_bits(state.scale_bits);
+        self.good_steps = state.good_steps;
+        self.skipped_steps = state.skipped_steps;
+    }
+
     /// Unscale gradients in place and report whether they are all finite.
     ///
     /// When `false` is returned the step must be skipped (the scaler has
@@ -84,6 +102,17 @@ impl GradScaler {
         }
         finite
     }
+}
+
+/// Bit-exact serializable [`GradScaler`] state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalerState {
+    /// `f32::to_bits` of the current loss scale.
+    pub scale_bits: u32,
+    /// Consecutive good steps accumulated toward the next growth.
+    pub good_steps: u32,
+    /// Total steps skipped due to non-finite gradients.
+    pub skipped_steps: u64,
 }
 
 #[cfg(test)]
@@ -140,5 +169,25 @@ mod tests {
     fn scale_loss_multiplies() {
         let s = GradScaler::new(8.0);
         assert_eq!(s.scale_loss(0.5), 4.0);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_growth_progress() {
+        let mut s = GradScaler::new(2.0).with_growth_interval(3);
+        let mut g = grads_with(vec![1.0]);
+        assert!(s.unscale_and_check(&mut g));
+        let mut g = grads_with(vec![f32::NAN]);
+        assert!(!s.unscale_and_check(&mut g));
+        let saved = s.export_state();
+        let mut restored = GradScaler::new(65536.0).with_growth_interval(3);
+        restored.import_state(&saved);
+        assert_eq!(restored.scale(), s.scale());
+        assert_eq!(restored.skipped_steps, 1);
+        // Growth progress continues exactly where it left off.
+        for _ in 0..3 {
+            let mut g = grads_with(vec![1.0]);
+            assert!(restored.unscale_and_check(&mut g));
+        }
+        assert_eq!(restored.scale(), s.scale() * 2.0);
     }
 }

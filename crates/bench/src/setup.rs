@@ -72,6 +72,7 @@ mod tests {
     fn quick_training_runs() {
         let ds = small_dataset(10, 2);
         let (_t, report) = train_model(tiny_model(2), &ds, 5, 1e-3);
-        assert!(report.final_loss.is_finite());
+        assert!(report.final_loss.expect("no steps completed").is_finite());
+        assert_eq!(report.completed_steps, 5);
     }
 }

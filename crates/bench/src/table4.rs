@@ -38,7 +38,10 @@ pub fn run(steps: usize, samples: usize) -> Table4Result {
     Table4Result {
         tiny,
         small,
-        final_losses: (tiny_rep.final_loss, small_rep.final_loss),
+        final_losses: (
+            tiny_rep.final_loss.expect("tiny run completed no steps"),
+            small_rep.final_loss.expect("small run completed no steps"),
+        ),
         climatology,
     }
 }

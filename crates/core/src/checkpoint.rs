@@ -1,34 +1,298 @@
-//! Model checkpointing: parameters plus configuration in JSON.
+//! Checkpointing: model save/load plus crash-consistent full trainer state.
+//!
+//! Two layers live here:
+//!
+//! * [`save_model`] / [`load_model`] — the portable model-only checkpoint
+//!   (`config.json` + `params.json`), validated against the reference
+//!   parameter layout (names *and* shapes) so a corrupt or mismatched
+//!   checkpoint is a recoverable [`std::io::Error`], never a panic;
+//! * [`TrainerCheckpoint`] with [`save_trainer_state`] /
+//!   [`load_trainer_state`] — the full-state checkpoint the fault-tolerant
+//!   trainer auto-saves: model config + parameters, Adam moments and step
+//!   count, GradScaler state, the data cursor, and pending accumulated
+//!   gradients, every tensor stored as raw IEEE-754 bit patterns so a
+//!   resumed run is bit-identical to an uninterrupted one.
+//!
+//! ## On-disk container format (version 1)
+//!
+//! ```text
+//! ORBIT2CKPT v1\n
+//! section <name> <payload-bytes> <crc32-hex>\n
+//! <payload>\n
+//! ...one header+payload pair per section...
+//! ```
+//!
+//! Every payload is JSON and carries its own CRC-32 (IEEE), checked before
+//! the payload is parsed — a single flipped bit anywhere in a section is a
+//! descriptive error, not undefined behaviour three layers later. The file
+//! is written to a `*.tmp-<pid>` sibling and atomically renamed into place,
+//! so a crash mid-write leaves the previous checkpoint intact.
 
+use orbit2_autograd::optim::AdamState;
+use orbit2_autograd::params::BitsMap;
+use orbit2_autograd::scaler::ScalerState;
 use orbit2_autograd::ParamStore;
 use orbit2_model::{ModelConfig, ReslimModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{Error, ErrorKind, Result};
 use std::path::Path;
 
+/// Build an [`ErrorKind::InvalidData`] error with a descriptive message.
+fn invalid(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Model-only checkpoints
+// ---------------------------------------------------------------------------
+
 /// Save a model checkpoint to `dir` (creates `config.json` + `params.json`).
-pub fn save_model(model: &ReslimModel, dir: &Path) -> std::io::Result<()> {
+pub fn save_model(model: &ReslimModel, dir: &Path) -> Result<()> {
     std::fs::create_dir_all(dir)?;
-    let cfg_json = serde_json::to_string_pretty(&model.cfg).map_err(std::io::Error::other)?;
+    let cfg_json = serde_json::to_string_pretty(&model.cfg).map_err(Error::other)?;
     std::fs::write(dir.join("config.json"), cfg_json)?;
     model.params.save(&dir.join("params.json"))
 }
 
-/// Load a model checkpoint from `dir`.
-pub fn load_model(dir: &Path) -> std::io::Result<ReslimModel> {
+/// Load a model checkpoint from `dir`, validating the parameter set (names
+/// and shapes) against a freshly-initialized reference layout. Any mismatch
+/// is an [`ErrorKind::InvalidData`] error, never a panic.
+pub fn load_model(dir: &Path) -> Result<ReslimModel> {
     let cfg_json = std::fs::read_to_string(dir.join("config.json"))?;
-    let cfg: ModelConfig = serde_json::from_str(&cfg_json).map_err(std::io::Error::other)?;
+    let cfg: ModelConfig = serde_json::from_str(&cfg_json).map_err(Error::other)?;
     let params = ParamStore::load(&dir.join("params.json"))?;
-    // Sanity: the parameter set must match a freshly-initialized layout.
-    let reference = ReslimModel::new(cfg, 0);
-    for name in reference.params.names() {
-        assert!(params.contains(&name), "checkpoint missing parameter {name}");
-    }
+    validate_layout(&params, cfg)?;
     Ok(ReslimModel { cfg, params })
+}
+
+/// Check `params` against the reference layout for `cfg`: every expected
+/// parameter present with the expected shape, and nothing extra.
+pub(crate) fn validate_layout(params: &ParamStore, cfg: ModelConfig) -> Result<()> {
+    let reference = ReslimModel::new(cfg, 0);
+    for (name, expect) in reference.params.iter() {
+        let Some(got) = params.try_get(name) else {
+            return Err(invalid(format!("checkpoint missing parameter `{name}`")));
+        };
+        if got.shape() != expect.shape() {
+            return Err(invalid(format!(
+                "checkpoint parameter `{name}` has shape {:?}, expected {:?}",
+                got.shape(),
+                expect.shape()
+            )));
+        }
+    }
+    for name in params.names() {
+        if !reference.params.contains(&name) {
+            return Err(invalid(format!(
+                "checkpoint has parameter `{name}` unknown to this architecture"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Full trainer state
+// ---------------------------------------------------------------------------
+
+/// Magic string opening every trainer checkpoint file.
+pub const CHECKPOINT_MAGIC: &str = "ORBIT2CKPT";
+/// Current trainer checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Training progress counters captured alongside the weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgressState {
+    /// Micro-batch steps completed so far (`Trainer::train` resumes here).
+    pub global_step: u64,
+    /// Position of the data cursor in the training split.
+    pub data_cursor: u64,
+}
+
+/// The complete, bit-exact state of a `Trainer` at a step boundary.
+#[derive(Debug, Clone)]
+pub struct TrainerCheckpoint {
+    /// Model architecture configuration.
+    pub model_cfg: ModelConfig,
+    /// Model parameters (fp32 masters), bit-exact.
+    pub params: BitsMap,
+    /// Adam step count and first/second moments, bit-exact.
+    pub adam: AdamState,
+    /// Dynamic gradient scaler state.
+    pub scaler: ScalerState,
+    /// Step and data-cursor counters.
+    pub progress: ProgressState,
+    /// Accumulated micro-batch gradients awaiting an optimizer step
+    /// (non-empty only when saved mid accumulation window).
+    pub pending: Vec<BitsMap>,
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bitwise.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Render a checkpoint into the sectioned container format.
+fn render_trainer_state(ckpt: &TrainerCheckpoint) -> Result<Vec<u8>> {
+    fn json<T: Serialize>(label: &str, v: &T) -> Result<String> {
+        serde_json::to_string(v).map_err(|e| invalid(format!("serializing section `{label}`: {e}")))
+    }
+    let sections: Vec<(&str, String)> = vec![
+        ("config", json("config", &ckpt.model_cfg)?),
+        ("params", json("params", &ckpt.params)?),
+        ("adam", json("adam", &ckpt.adam)?),
+        ("scaler", json("scaler", &ckpt.scaler)?),
+        ("progress", json("progress", &ckpt.progress)?),
+        ("pending", json("pending", &ckpt.pending)?),
+    ];
+    let mut out = format!("{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION}\n").into_bytes();
+    for (name, payload) in sections {
+        let bytes = payload.as_bytes();
+        out.extend_from_slice(
+            format!("section {name} {} {:08x}\n", bytes.len(), crc32(bytes)).as_bytes(),
+        );
+        out.extend_from_slice(bytes);
+        out.push(b'\n');
+    }
+    Ok(out)
+}
+
+/// Save the full trainer state to `path`, crash-consistently: the bytes are
+/// written to a unique temp sibling and renamed into place, so `path` always
+/// holds either the previous complete checkpoint or the new one.
+pub fn save_trainer_state(ckpt: &TrainerCheckpoint, path: &Path) -> Result<()> {
+    let bytes = render_trainer_state(ckpt)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| invalid(format!("checkpoint path {} has no file name", path.display())))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read one `section <name> <len> <crc>` header + payload starting at
+/// `pos`; returns `(name, payload, next_pos)`.
+fn parse_section(bytes: &[u8], pos: usize) -> Result<(String, Vec<u8>, usize)> {
+    let line_end = bytes[pos..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| pos + i)
+        .ok_or_else(|| invalid("truncated checkpoint: unterminated section header"))?;
+    let header = std::str::from_utf8(&bytes[pos..line_end])
+        .map_err(|_| invalid("corrupt checkpoint: section header is not UTF-8"))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    let [kw, name, len, crc] = parts.as_slice() else {
+        return Err(invalid(format!("corrupt checkpoint: malformed section header `{header}`")));
+    };
+    if *kw != "section" {
+        return Err(invalid(format!("corrupt checkpoint: expected `section`, found `{kw}`")));
+    }
+    let len: usize = len
+        .parse()
+        .map_err(|_| invalid(format!("corrupt checkpoint: bad length in header `{header}`")))?;
+    let expect_crc = u32::from_str_radix(crc, 16)
+        .map_err(|_| invalid(format!("corrupt checkpoint: bad checksum in header `{header}`")))?;
+    let start = line_end + 1;
+    let end = start + len;
+    if end + 1 > bytes.len() {
+        return Err(invalid(format!(
+            "truncated checkpoint: section `{name}` claims {len} bytes but only {} remain",
+            bytes.len().saturating_sub(start)
+        )));
+    }
+    if bytes[end] != b'\n' {
+        return Err(invalid(format!(
+            "corrupt checkpoint: section `{name}` payload is not newline-terminated"
+        )));
+    }
+    let payload = &bytes[start..end];
+    let got_crc = crc32(payload);
+    if got_crc != expect_crc {
+        return Err(invalid(format!(
+            "CRC mismatch in section `{name}`: stored {expect_crc:08x}, computed {got_crc:08x}"
+        )));
+    }
+    Ok((name.to_string(), payload.to_vec(), end + 1))
+}
+
+/// Load a full trainer state saved by [`save_trainer_state`]. Truncation, a
+/// flipped byte, a missing section, or an unknown version each produce a
+/// descriptive [`ErrorKind::InvalidData`] error.
+pub fn load_trainer_state(path: &Path) -> Result<TrainerCheckpoint> {
+    let bytes = std::fs::read(path)?;
+    let first_nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| invalid("truncated checkpoint: missing header line"))?;
+    let magic_line = std::str::from_utf8(&bytes[..first_nl])
+        .map_err(|_| invalid("not an ORBIT2 checkpoint: header is not UTF-8"))?;
+    let Some(version_str) = magic_line
+        .strip_prefix(CHECKPOINT_MAGIC)
+        .and_then(|rest| rest.trim().strip_prefix('v'))
+    else {
+        return Err(invalid(format!("not an ORBIT2 checkpoint: header `{magic_line}`")));
+    };
+    let version: u32 = version_str
+        .parse()
+        .map_err(|_| invalid(format!("not an ORBIT2 checkpoint: bad version `{version_str}`")))?;
+    if version != CHECKPOINT_VERSION {
+        return Err(invalid(format!(
+            "unsupported checkpoint version {version} (this build reads version {CHECKPOINT_VERSION})"
+        )));
+    }
+
+    let mut sections: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut pos = first_nl + 1;
+    while pos < bytes.len() {
+        let (name, payload, next) = parse_section(&bytes, pos)?;
+        sections.insert(name, payload);
+        pos = next;
+    }
+
+    fn section<'a>(sections: &'a BTreeMap<String, Vec<u8>>, name: &str) -> Result<&'a str> {
+        let payload = sections
+            .get(name)
+            .ok_or_else(|| invalid(format!("checkpoint missing section `{name}`")))?;
+        std::str::from_utf8(payload)
+            .map_err(|_| invalid(format!("section `{name}` payload is not UTF-8")))
+    }
+    fn parse<T: serde::Deserialize>(sections: &BTreeMap<String, Vec<u8>>, name: &str) -> Result<T> {
+        serde_json::from_str(section(sections, name)?)
+            .map_err(|e| invalid(format!("section `{name}` failed to parse: {e}")))
+    }
+
+    Ok(TrainerCheckpoint {
+        model_cfg: parse(&sections, "config")?,
+        params: parse(&sections, "params")?,
+        adam: parse(&sections, "adam")?,
+        scaler: parse(&sections, "scaler")?,
+        progress: parse(&sections, "progress")?,
+        pending: parse(&sections, "pending")?,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use orbit2_model::ModelConfig;
+    use orbit2_tensor::Tensor;
 
     #[test]
     fn save_load_roundtrip() {
@@ -60,5 +324,66 @@ mod tests {
             m.forward(&binder, &input, 1.0).0.value()
         };
         run(&model).assert_close(&run(&loaded), 0.0);
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("orbit2_ckpt_missing_param");
+        let model = ReslimModel::new(ModelConfig::tiny().with_channels(4, 3), 9);
+        save_model(&model, &dir).unwrap();
+        // Rewrite params.json with one parameter removed.
+        let mut store = ParamStore::load(&dir.join("params.json")).unwrap();
+        let mut pruned = ParamStore::new();
+        for (name, t) in store.iter() {
+            if name != "xattn.wq" {
+                pruned.insert(name.clone(), t.clone());
+            }
+        }
+        store = pruned;
+        store.save(&dir.join("params.json")).unwrap();
+        let err = match load_model(&dir) {
+            Ok(_) => panic!("load_model must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("xattn.wq"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn wrong_parameter_shape_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("orbit2_ckpt_bad_shape");
+        let model = ReslimModel::new(ModelConfig::tiny().with_channels(4, 3), 10);
+        save_model(&model, &dir).unwrap();
+        let mut store = ParamStore::load(&dir.join("params.json")).unwrap();
+        store.insert("xattn.wq", Tensor::zeros(vec![2, 2]));
+        store.save(&dir.join("params.json")).unwrap();
+        let err = match load_model(&dir) {
+            Ok(_) => panic!("load_model must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("shape"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn unknown_extra_parameter_is_an_error() {
+        let dir = std::env::temp_dir().join("orbit2_ckpt_extra_param");
+        let model = ReslimModel::new(ModelConfig::tiny().with_channels(4, 3), 11);
+        save_model(&model, &dir).unwrap();
+        let mut store = ParamStore::load(&dir.join("params.json")).unwrap();
+        store.insert("rogue.weight", Tensor::zeros(vec![3]));
+        store.save(&dir.join("params.json")).unwrap();
+        let err = match load_model(&dir) {
+            Ok(_) => panic!("load_model must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("rogue.weight"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

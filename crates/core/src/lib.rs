@@ -12,7 +12,10 @@
 //! * [`inference`] — halo-padded tiled inference with core stitching;
 //! * [`eval`] — evaluation of a trained model against a dataset split,
 //!   producing the paper's Table IV metric rows per variable;
-//! * [`checkpoint`] — model save/load;
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   fault/skip vocabulary used by the trainer's elastic recovery;
+//! * [`checkpoint`] — model save/load plus crash-consistent full-state
+//!   trainer checkpoints (versioned, per-section CRC, atomic rename);
 //! * [`planner`] — the exascale run planner: drives the cluster simulator
 //!   and parallelism cost models to regenerate the paper's scaling results
 //!   (Tables II/III, Fig. 6) for configurations far beyond this machine.
@@ -20,14 +23,18 @@
 pub mod autoplan;
 pub mod checkpoint;
 pub mod eval;
+pub mod fault;
 pub mod inference;
 pub mod planner;
 pub mod tiling;
 pub mod trainer;
 
 pub use autoplan::{best_plan, search_plans, ScoredPlan};
-pub use checkpoint::{load_model, save_model};
+pub use checkpoint::{
+    load_model, load_trainer_state, save_model, save_trainer_state, TrainerCheckpoint,
+};
 pub use eval::{evaluate_model, VariableReport};
+pub use fault::{FaultAction, FaultEvent, FaultKind, FaultPlan, SkipReason};
 pub use inference::downscale;
 pub use planner::{max_sequence_row, strong_scaling_series, ScalingPoint, SeqLenRow};
 pub use trainer::{TrainReport, Trainer, TrainerConfig};

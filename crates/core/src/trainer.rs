@@ -1,4 +1,4 @@
-//! The TILES-parallel trainer.
+//! The fault-tolerant TILES-parallel trainer.
 //!
 //! One training step: the sample is split into halo-padded tiles; each tile
 //! runs its forward/backward on its own thread with its own gradient tape
@@ -7,10 +7,34 @@
 //! dynamic gradient scaler, and applied by Adam with a cosine schedule.
 //! Mixed precision is emulated by rounding parameters (and the averaged
 //! gradients) to BF16 before use, with fp32 master weights inside Adam.
+//!
+//! ## Fault tolerance
+//!
+//! Every (replica, tile) job runs isolated behind `catch_unwind`: a
+//! panicking or NaN-producing job cannot abort the step. A failed job is
+//! retried once; if the retry fails too it is dropped from the gradient
+//! all-reduce and the average is renormalized over the survivors (the
+//! paper's once-per-batch all-reduce semantics, minus the dead rank). A
+//! seeded [`FaultPlan`] can inject panics, NaN gradients and stragglers
+//! deterministically for chaos testing; every observed fault lands in the
+//! [`TrainReport`] fault log, and every skipped optimizer step is recorded
+//! with its [`SkipReason`] instead of silently vanishing.
+//!
+//! ## Checkpointing
+//!
+//! With `checkpoint_every > 0` and a checkpoint path set, `train` saves a
+//! crash-consistent [`TrainerCheckpoint`] (params, Adam moments, scaler
+//! state, data cursor, pending accumulation) every N steps;
+//! [`Trainer::resume`] restores it and the continued run is bit-identical
+//! to an uninterrupted one.
 
+use crate::checkpoint::{
+    load_trainer_state, save_trainer_state, validate_layout, ProgressState, TrainerCheckpoint,
+};
+use crate::fault::{FaultAction, FaultEvent, FaultKind, FaultPlan, SkipReason};
 use crate::tiling::split_sample;
 use orbit2_autograd::optim::cosine_schedule;
-use orbit2_autograd::params::{average_grad_maps, GradMap};
+use orbit2_autograd::params::{average_grad_maps, tensors_from_bits, tensors_to_bits, GradMap};
 use orbit2_autograd::{Adam, GradScaler, Optimizer, ParamStore, Tape};
 use orbit2_climate::{DownscalingDataset, Normalizer, Split};
 use orbit2_imaging::tiles::TileSpec;
@@ -19,6 +43,8 @@ use orbit2_model::loss::{bayesian_loss, BayesianLossCfg};
 use orbit2_model::ReslimModel;
 use orbit2_tensor::Tensor;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Training-run configuration.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +71,9 @@ pub struct TrainerConfig {
     pub ddp_replicas: usize,
     /// Micro-batches accumulated before each optimizer step.
     pub grad_accumulation: usize,
+    /// Auto-save a full-state checkpoint every N steps during `train`
+    /// (0 disables; requires [`Trainer::set_checkpoint_path`]).
+    pub checkpoint_every: usize,
 }
 
 impl Default for TrainerConfig {
@@ -60,6 +89,7 @@ impl Default for TrainerConfig {
             log_every: 10,
             ddp_replicas: 1,
             grad_accumulation: 1,
+            checkpoint_every: 0,
         }
     }
 }
@@ -69,10 +99,39 @@ impl Default for TrainerConfig {
 pub struct TrainReport {
     /// `(step, loss)` samples every `log_every` steps.
     pub losses: Vec<(usize, f32)>,
-    /// Loss at the final step.
-    pub final_loss: f32,
+    /// Loss at the last step that produced one; `None` when no step did
+    /// (zero steps configured, or every step skipped).
+    pub final_loss: Option<f32>,
+    /// Steps that produced a loss (survived isolation and, for optimizer
+    /// boundaries, were not skipped).
+    pub completed_steps: usize,
     /// Steps skipped by the gradient scaler (non-finite gradients).
     pub skipped_steps: u64,
+    /// Every skipped optimizer step with why it was skipped — a skipped
+    /// batch is recorded, never silently lost.
+    pub skipped: Vec<(usize, SkipReason)>,
+    /// Every fault observed during the run (injected or genuine) and how
+    /// recovery resolved it.
+    pub faults: Vec<FaultEvent>,
+}
+
+/// Why an isolated job produced no usable gradient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobFailure {
+    /// The job's thread panicked.
+    Panicked,
+    /// The job completed with NaN/non-finite loss or gradients.
+    NonFinite,
+}
+
+impl JobFailure {
+    /// The fault kind to log for a genuine (non-injected) failure.
+    fn as_kind(self) -> FaultKind {
+        match self {
+            JobFailure::Panicked => FaultKind::Panic,
+            JobFailure::NonFinite => FaultKind::NaNGradient,
+        }
+    }
 }
 
 /// A model plus its training state.
@@ -85,7 +144,20 @@ pub struct Trainer {
     scaler: GradScaler,
     cfg: TrainerConfig,
     /// Accumulated micro-batch gradients awaiting an optimizer step.
-    pending: Vec<orbit2_autograd::params::GradMap>,
+    pending: Vec<GradMap>,
+    /// Deterministic fault-injection schedule (empty unless armed via
+    /// [`Trainer::set_fault_plan`] or `ORBIT2_FAULT_PLAN`).
+    fault_plan: FaultPlan,
+    /// Faults observed since the last report, drained by `train`.
+    fault_log: Vec<FaultEvent>,
+    /// Skipped optimizer steps since the last report, drained by `train`.
+    skip_log: Vec<(usize, SkipReason)>,
+    /// Micro-batch steps taken over the trainer's lifetime (resumes count).
+    global_step: usize,
+    /// Position of the data cursor in the training split.
+    cursor: usize,
+    /// Where `train` auto-saves checkpoints (see `checkpoint_every`).
+    checkpoint_path: Option<PathBuf>,
 }
 
 impl Trainer {
@@ -95,7 +167,20 @@ impl Trainer {
         let opt = Adam::new(cfg.lr).with_weight_decay(1e-5);
         // A short growth interval exercises the scaler during small runs.
         let scaler = GradScaler::new(1024.0).with_growth_interval(200);
-        Self { model, normalizer, opt, scaler, cfg, pending: Vec::new() }
+        Self {
+            model,
+            normalizer,
+            opt,
+            scaler,
+            cfg,
+            pending: Vec::new(),
+            fault_plan: FaultPlan::from_env().unwrap_or_default(),
+            fault_log: Vec::new(),
+            skip_log: Vec::new(),
+            global_step: 0,
+            cursor: 0,
+            checkpoint_path: None,
+        }
     }
 
     /// Access the trainer configuration.
@@ -103,8 +188,85 @@ impl Trainer {
         &self.cfg
     }
 
-    /// Run the configured number of steps over the dataset's training split.
+    /// Arm (or disarm, with [`FaultPlan::none`]) deterministic fault
+    /// injection for subsequent steps.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Set where `train` auto-saves checkpoints (see
+    /// `TrainerConfig::checkpoint_every`).
+    pub fn set_checkpoint_path(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// Micro-batch steps taken so far (survives save/resume).
+    pub fn global_step(&self) -> usize {
+        self.global_step
+    }
+
+    /// Snapshot the complete training state, bit-exactly.
+    pub fn checkpoint(&self) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            model_cfg: self.model.cfg,
+            params: self.model.params.to_bits(),
+            adam: self.opt.export_state(),
+            scaler: self.scaler.export_state(),
+            progress: ProgressState {
+                global_step: self.global_step as u64,
+                data_cursor: self.cursor as u64,
+            },
+            pending: self.pending.iter().map(|gm| tensors_to_bits(gm.iter())).collect(),
+        }
+    }
+
+    /// Save the complete training state to `path`, atomically.
+    pub fn save_checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        save_trainer_state(&self.checkpoint(), path)
+    }
+
+    /// Restore a trainer from a full-state checkpoint. The continued run is
+    /// bit-identical to one that never stopped: parameters, Adam moments
+    /// and step count, scaler state, data cursor and pending accumulation
+    /// all resume exactly. The normalizer is refitted from `dataset`
+    /// (deterministic), and optimizer/scaler hyper-parameters come from
+    /// `cfg`, exactly as in [`Trainer::new`].
+    pub fn resume(
+        dataset: &DownscalingDataset,
+        cfg: TrainerConfig,
+        path: &Path,
+    ) -> std::io::Result<Self> {
+        let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let ckpt = load_trainer_state(path)?;
+        let params = ParamStore::from_bits(&ckpt.params).map_err(bad)?;
+        validate_layout(&params, ckpt.model_cfg)?;
+        let model = ReslimModel { cfg: ckpt.model_cfg, params };
+        let mut trainer = Self::new(model, dataset, cfg);
+        trainer.opt.import_state(&ckpt.adam).map_err(bad)?;
+        trainer.scaler.import_state(&ckpt.scaler);
+        trainer.global_step = ckpt.progress.global_step as usize;
+        trainer.cursor = ckpt.progress.data_cursor as usize;
+        trainer.pending = ckpt
+            .pending
+            .iter()
+            .map(tensors_from_bits)
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(bad)?;
+        Ok(trainer)
+    }
+
+    /// Run up to the configured number of steps over the dataset's training
+    /// split, continuing from the current `global_step` (fresh trainers
+    /// start at 0; resumed ones where the checkpoint left off).
     pub fn train(&mut self, dataset: &DownscalingDataset) -> TrainReport {
+        self.train_for(dataset, usize::MAX)
+    }
+
+    /// Like [`Trainer::train`] but stop after at most `max_steps`
+    /// micro-batches this call, leaving the run resumable. The learning-rate
+    /// schedule still spans the full `cfg.steps` horizon, so driving
+    /// training in slices is bit-identical to one uninterrupted call.
+    pub fn train_for(&mut self, dataset: &DownscalingDataset, max_steps: usize) -> TrainReport {
         let train_idx = dataset.indices(Split::Train);
         assert!(!train_idx.is_empty(), "empty training split");
         let lat_field = Tensor::from_vec(
@@ -112,43 +274,68 @@ impl Trainer {
             dataset.fine_grid().latitude_weight_field(),
         );
         let mut losses = Vec::new();
-        let mut final_loss = f32::NAN;
+        let mut final_loss = None;
+        let mut completed_steps = 0usize;
+        let mut steps_this_call = 0usize;
         let replicas = self.cfg.ddp_replicas.max(1);
-        let mut cursor = 0usize;
-        for step in 0..self.cfg.steps {
+        while self.global_step < self.cfg.steps && steps_this_call < max_steps {
+            steps_this_call += 1;
+            let step = self.global_step;
             // DDP: each replica takes the next sample in time order.
+            let cursor = self.cursor;
             let batch: Vec<_> = (0..replicas)
                 .map(|r| {
                     let s = dataset.sample(train_idx[(cursor + r) % train_idx.len()]);
                     (s.input, s.target)
                 })
                 .collect();
-            cursor += replicas;
+            self.cursor += replicas;
             let lr = cosine_schedule(step as u64, self.cfg.warmup, self.cfg.steps as u64, self.cfg.lr, self.cfg.lr * 0.05);
             self.opt.set_learning_rate(lr);
             let pairs: Vec<(&Tensor, &Tensor)> = batch.iter().map(|(i, t)| (i, t)).collect();
             if let Some(loss) = self.step_batch(&pairs, &lat_field, dataset.factor) {
-                final_loss = loss;
-                if step % self.cfg.log_every == 0 || step + 1 == self.cfg.steps {
+                final_loss = Some(loss);
+                completed_steps += 1;
+                if step.is_multiple_of(self.cfg.log_every) || step + 1 == self.cfg.steps {
                     losses.push((step, loss));
                 }
             }
+            if self.cfg.checkpoint_every > 0 && self.global_step.is_multiple_of(self.cfg.checkpoint_every) {
+                if let Some(path) = self.checkpoint_path.clone() {
+                    // A failed save must not kill a multi-day run: warn and
+                    // keep training on the previous (intact) checkpoint.
+                    if let Err(e) = self.save_checkpoint(&path) {
+                        eprintln!("orbit2: checkpoint save to {} failed: {e}", path.display());
+                    }
+                }
+            }
         }
-        TrainReport { losses, final_loss, skipped_steps: self.scaler.skipped_steps }
+        TrainReport {
+            losses,
+            final_loss,
+            completed_steps,
+            skipped_steps: self.scaler.skipped_steps,
+            skipped: std::mem::take(&mut self.skip_log),
+            faults: std::mem::take(&mut self.fault_log),
+        }
     }
 
     /// One optimizer step on a single (input, target) pair. Returns the
-    /// (unscaled) loss, or `None` when the scaler skipped the step.
+    /// (unscaled) loss, or `None` when the step was skipped.
     pub fn step(&mut self, input: &Tensor, target: &Tensor, lat_field: &Tensor, factor: usize) -> Option<f32> {
         self.step_batch(&[(input, target)], lat_field, factor)
     }
 
     /// One micro-batch: every (replica, tile) pair runs forward/backward on
-    /// its own thread (its own simulated GPU), and all gradients join a
-    /// single average — the combined DDP x TILES all-reduce. The optimizer
-    /// applies once every `grad_accumulation` micro-batches.
+    /// its own thread (its own simulated GPU) behind `catch_unwind`
+    /// isolation; surviving gradients join a single average — the combined
+    /// DDP x TILES all-reduce, renormalized over survivors when jobs were
+    /// dropped. The optimizer applies once every `grad_accumulation`
+    /// micro-batches.
     pub fn step_batch(&mut self, samples: &[(&Tensor, &Tensor)], lat_field: &Tensor, factor: usize) -> Option<f32> {
         assert!(!samples.is_empty(), "empty batch");
+        let step = self.global_step;
+        self.global_step += 1;
         // Emulated BF16: the forward/backward sees rounded parameters; Adam
         // keeps fp32 masters in `self.model.params`.
         let step_params: ParamStore = if self.cfg.bf16 {
@@ -180,10 +367,18 @@ impl Trainer {
         let compression = self.cfg.compression;
         let bf16 = self.cfg.bf16;
 
-        // Each job = one simulated GPU: private tape, parallel execution.
-        let results: Vec<(f32, GradMap)> = jobs
-            .par_iter()
-            .map(|tile| {
+        // One isolated attempt at one job. Injected faults fire inside the
+        // unwind boundary, exactly where a real rank would fail.
+        let run_job = |tile: &crate::tiling::SampleTile,
+                       fault: Option<FaultKind>|
+         -> Result<(f32, GradMap), JobFailure> {
+            let compute = || {
+                if let Some(FaultKind::Straggler(ms)) = fault {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                if matches!(fault, Some(FaultKind::Panic)) {
+                    panic!("injected rank failure");
+                }
                 let tape = Tape::new();
                 let binder = Binder::new(&tape, &step_params);
                 let (pred, _) = model.forward(&binder, &tile.input, compression);
@@ -198,13 +393,81 @@ impl Trainer {
                         *g = g.to_bf16();
                     }
                 }
+                if matches!(fault, Some(FaultKind::NaNGradient)) {
+                    for g in gm.values_mut() {
+                        g.data_mut()[0] = f32::NAN;
+                    }
+                }
                 (loss.value().item(), gm)
-            })
+            };
+            match catch_unwind(AssertUnwindSafe(compute)) {
+                Err(_) => Err(JobFailure::Panicked),
+                Ok((loss, gm)) => {
+                    // Per-job health check. In BF16 mode Inf/NaN gradients
+                    // are the scaler's business (overflow backs the scale
+                    // off globally), so only injected poison fails the job;
+                    // in fp32 mode any non-finite output is a dead rank.
+                    let injected_nan = matches!(fault, Some(FaultKind::NaNGradient));
+                    let non_finite =
+                        !loss.is_finite() || gm.values().any(|g| !g.all_finite());
+                    if injected_nan || (!bf16 && non_finite) {
+                        Err(JobFailure::NonFinite)
+                    } else {
+                        Ok((loss, gm))
+                    }
+                }
+            }
+        };
+
+        // First pass: every job in parallel, each isolated.
+        let plan = self.fault_plan.clone();
+        let faults: Vec<Option<FaultKind>> =
+            (0..jobs.len()).map(|j| plan.lookup(step, j)).collect();
+        let mut outcomes: Vec<Result<(f32, GradMap), JobFailure>> = jobs
+            .par_iter()
+            .enumerate()
+            .map(|(j, tile)| run_job(tile, faults[j]))
             .collect();
 
-        let mean_loss = results.iter().map(|(l, _)| *l).sum::<f32>() / results.len() as f32;
-        let maps: Vec<GradMap> = results.into_iter().map(|(_, g)| g).collect();
-        // The DDP x TILES gradient all-reduce: one average per micro-batch.
+        // Elastic recovery: retry each failed job once. Transient faults
+        // (the default) retry clean — the rescheduled rank is healthy;
+        // persistent plans re-apply the fault, modelling a dead node.
+        let mut events = Vec::new();
+        for (j, outcome) in outcomes.iter_mut().enumerate() {
+            let fault = faults[j];
+            match outcome {
+                Ok(_) => {
+                    if let Some(kind) = fault {
+                        events.push(FaultEvent {
+                            step,
+                            job: j,
+                            kind,
+                            action: FaultAction::Completed,
+                            injected: true,
+                        });
+                    }
+                }
+                Err(failure) => {
+                    let kind = fault.unwrap_or_else(|| failure.as_kind());
+                    let retry_fault = if plan.is_persistent() { fault } else { None };
+                    let retried = run_job(&jobs[j], retry_fault);
+                    let action = if retried.is_ok() { FaultAction::Retried } else { FaultAction::Dropped };
+                    events.push(FaultEvent { step, job: j, kind, action, injected: fault.is_some() });
+                    *outcome = retried;
+                }
+            }
+        }
+        self.fault_log.extend(events);
+
+        // The DDP x TILES gradient all-reduce over the survivors: dropping
+        // a job renormalizes the average over those that remain.
+        let survivors: Vec<(f32, GradMap)> = outcomes.into_iter().flatten().collect();
+        if survivors.is_empty() {
+            self.skip_log.push((step, SkipReason::AllJobsFailed));
+            return None;
+        }
+        let mean_loss = survivors.iter().map(|(l, _)| *l).sum::<f32>() / survivors.len() as f32;
+        let maps: Vec<GradMap> = survivors.into_iter().map(|(_, g)| g).collect();
         let avg = average_grad_maps(&maps);
         self.pending.push(avg);
         if self.pending.len() < self.cfg.grad_accumulation.max(1) {
@@ -214,9 +477,11 @@ impl Trainer {
         self.pending.clear();
         if self.cfg.bf16 {
             if !self.scaler.unscale_and_check(&mut total) {
+                self.skip_log.push((step, SkipReason::ScalerOverflow));
                 return None;
             }
         } else if total.values().any(|g| !g.all_finite()) {
+            self.skip_log.push((step, SkipReason::NonFiniteAverage));
             return None;
         }
         self.opt.step(&mut self.model.params, &total);
@@ -265,12 +530,12 @@ mod tests {
         let mut t = Trainer::new(tiny_model(), &ds, TrainerConfig { steps: 30, ..quick_cfg() });
         let report = t.train(&ds);
         let first = report.losses.first().unwrap().1;
-        assert!(
-            report.final_loss < first * 0.9,
-            "loss should drop: {first} -> {}",
-            report.final_loss
-        );
-        assert!(report.final_loss.is_finite());
+        let last = report.final_loss.unwrap();
+        assert!(last < first * 0.9, "loss should drop: {first} -> {last}");
+        assert!(last.is_finite());
+        assert_eq!(report.completed_steps, 30);
+        assert!(report.faults.is_empty(), "no fault plan armed: {:?}", report.faults);
+        assert!(report.skipped.is_empty());
     }
 
     #[test]
@@ -283,9 +548,10 @@ mod tests {
             TrainerConfig { tile_spec: Some(spec), steps: 20, ..quick_cfg() },
         );
         let report = t.train(&ds);
-        assert!(report.final_loss.is_finite());
+        let last = report.final_loss.unwrap();
+        assert!(last.is_finite());
         let first = report.losses.first().unwrap().1;
-        assert!(report.final_loss < first, "tiled training must also learn");
+        assert!(last < first, "tiled training must also learn");
     }
 
     #[test]
@@ -297,9 +563,10 @@ mod tests {
             TrainerConfig { bf16: true, steps: 20, ..quick_cfg() },
         );
         let report = t.train(&ds);
-        assert!(report.final_loss.is_finite());
+        let last = report.final_loss.unwrap();
+        assert!(last.is_finite());
         let first = report.losses.first().unwrap().1;
-        assert!(report.final_loss < first, "bf16 training must learn: {first} -> {}", report.final_loss);
+        assert!(last < first, "bf16 training must learn: {first} -> {last}");
     }
 
     #[test]
@@ -311,7 +578,7 @@ mod tests {
             TrainerConfig { compression: 2.0, steps: 8, ..quick_cfg() },
         );
         let report = t.train(&ds);
-        assert!(report.final_loss.is_finite());
+        assert!(report.final_loss.unwrap().is_finite());
     }
 
     #[test]
@@ -324,7 +591,18 @@ mod tests {
         );
         let report = t.train(&ds);
         let first = report.losses.first().unwrap().1;
-        assert!(report.final_loss < first, "DDP training must learn: {first} -> {}", report.final_loss);
+        let last = report.final_loss.unwrap();
+        assert!(last < first, "DDP training must learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn zero_step_run_reports_none_not_nan() {
+        let ds = dataset();
+        let mut t = Trainer::new(tiny_model(), &ds, TrainerConfig { steps: 0, ..quick_cfg() });
+        let report = t.train(&ds);
+        assert_eq!(report.final_loss, None);
+        assert_eq!(report.completed_steps, 0);
+        assert!(report.losses.is_empty());
     }
 
     #[test]
@@ -408,5 +686,54 @@ mod tests {
         t.train(&ds);
         let after = t.model.params.get("xattn.wq");
         assert!(before.max_abs_diff(after) > 0.0, "parameters must move");
+    }
+
+    #[test]
+    fn retried_transient_panic_matches_clean_run_exactly() {
+        // A transient injected panic is retried clean, so the step's update
+        // must be bit-identical to a run with no fault at all.
+        let ds = dataset();
+        let lat = Tensor::from_vec(
+            vec![ds.fine_grid().h, ds.fine_grid().w],
+            ds.fine_grid().latitude_weight_field(),
+        );
+        let s0 = ds.sample(0);
+        let s1 = ds.sample(1);
+        let run = |plan: FaultPlan| {
+            let mut t = Trainer::new(tiny_model(), &ds, TrainerConfig { steps: 0, ..quick_cfg() });
+            t.set_fault_plan(plan);
+            t.step_batch(&[(&s0.input, &s0.target), (&s1.input, &s1.target)], &lat, ds.factor);
+            t.model.params.get("xattn.wq").clone()
+        };
+        let clean = run(FaultPlan::none());
+        let faulted = run(FaultPlan::none().with_event(0, 1, FaultKind::Panic));
+        assert_eq!(clean.data(), faulted.data(), "retried job must reproduce the clean gradient");
+    }
+
+    #[test]
+    fn dropped_job_renormalizes_average_over_survivors() {
+        // A persistent fault kills job 1 (replica 1) outright: the 2-sample
+        // batch must then produce exactly the 1-sample update.
+        let ds = dataset();
+        let lat = Tensor::from_vec(
+            vec![ds.fine_grid().h, ds.fine_grid().w],
+            ds.fine_grid().latitude_weight_field(),
+        );
+        let s0 = ds.sample(0);
+        let s1 = ds.sample(1);
+        let run = |pairs: Vec<(&Tensor, &Tensor)>, plan: FaultPlan| {
+            let mut t = Trainer::new(tiny_model(), &ds, TrainerConfig { steps: 0, ..quick_cfg() });
+            t.set_fault_plan(plan);
+            t.step_batch(&pairs, &lat, ds.factor);
+            t.model.params.get("xattn.wq").clone()
+        };
+        let dead_rank = FaultPlan::none().with_event(0, 1, FaultKind::Panic).with_persistent();
+        let dropped = run(vec![(&s0.input, &s0.target), (&s1.input, &s1.target)], dead_rank);
+        let solo = run(vec![(&s0.input, &s0.target)], FaultPlan::none());
+        assert_eq!(
+            dropped.data(),
+            solo.data(),
+            "average must renormalize over the surviving job"
+        );
     }
 }

@@ -30,7 +30,7 @@ fn main() {
     let cfg = TrainerConfig { steps: 60, lr: 2e-3, warmup: 6, log_every: 20, ..Default::default() };
     let mut trainer = Trainer::new(model, &dataset, cfg);
     let report = trainer.train(&dataset);
-    println!("final loss {:.4}", report.final_loss);
+    println!("final loss {:.4}", report.final_loss.expect("no steps completed"));
 
     let (h, w) = (dataset.fine_grid().h, dataset.fine_grid().w);
     let plane = h * w;

@@ -40,7 +40,8 @@ fn main() {
     let report = trainer.train(&dataset);
     println!(
         "final loss {:.4} ({} scaler-skipped steps)",
-        report.final_loss, report.skipped_steps
+        report.final_loss.expect("no steps completed"),
+        report.skipped_steps
     );
 
     // Checkpoint round-trip.

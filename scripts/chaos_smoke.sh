@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Chaos smoke: run the fault-injection and crash-recovery suite in both
+# SIMD modes. The fault-tolerance layer (per-job catch_unwind isolation,
+# retry/drop recovery, CRC-checked checkpoints, bit-identical resume) must
+# behave identically whether the packed-SIMD kernels or the scalar
+# fallbacks execute the math underneath, so every run here is doubled:
+# once with SIMD enabled (default) and once with ORBIT2_DISABLE_SIMD=1.
+#
+# Usage: scripts/chaos_smoke.sh [extra cargo-test args]
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+# The fault-injection integration tests plus the trainer/checkpoint/fault
+# unit suites that back them.
+run_suite() {
+    cargo test --release --test failure_injection "$@"
+    cargo test --release -p orbit2 --lib "$@" -- trainer:: checkpoint:: fault::
+}
+
+echo "== chaos smoke: SIMD enabled =="
+ORBIT2_DISABLE_SIMD=0 run_suite "$@"
+
+echo "== chaos smoke: SIMD disabled (scalar fallbacks) =="
+ORBIT2_DISABLE_SIMD=1 run_suite "$@"
+
+# One pass driven purely through the environment knob, checking the
+# ORBIT2_FAULT_PLAN parsing/arming path end to end. Only the fault unit
+# suite runs under the env plan: every Trainer picks the env plan up by
+# default, and the clean-run trainer tests rightly assert an empty fault
+# log when nothing was (deliberately) armed.
+echo "== chaos smoke: ORBIT2_FAULT_PLAN env round-trip =="
+ORBIT2_FAULT_PLAN="seed=42,panic=0.02,nan=0.02,straggle=0.05,straggle_ms=5" \
+    cargo test --release -p orbit2 --lib "$@" -- fault::
+
+echo "chaos smoke passed in both SIMD modes"

@@ -26,7 +26,8 @@ fn training_improves_heldout_metrics() {
     let cfg = TrainerConfig { steps: 50, lr: 2e-3, warmup: 5, log_every: 10, ..Default::default() };
     let mut trainer = Trainer::new(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 5), &ds, cfg);
     let report = trainer.train(&ds);
-    assert!(report.final_loss.is_finite());
+    assert!(report.final_loss.unwrap().is_finite());
+    assert_eq!(report.completed_steps, 50);
     let after = evaluate_model(&trainer.model, &trainer.normalizer, &ds, &test_idx, None, 1.0);
 
     // Training must improve R2 for the temperature channels.
@@ -80,11 +81,8 @@ fn tiles_bf16_training_pipeline_learns() {
     let mut trainer = Trainer::new(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 8), &ds, cfg);
     let report = trainer.train(&ds);
     let first = report.losses.first().unwrap().1;
-    assert!(
-        report.final_loss < first,
-        "combined TILES+BF16 pipeline must learn: {first} -> {}",
-        report.final_loss
-    );
+    let last = report.final_loss.unwrap();
+    assert!(last < first, "combined TILES+BF16 pipeline must learn: {first} -> {last}");
 }
 
 #[test]
@@ -96,7 +94,7 @@ fn capacity_ordering_on_equal_budget() {
     let run = |model: ReslimModel| {
         let cfg = TrainerConfig { steps, lr: 2e-3, warmup: 4, log_every: 10, ..Default::default() };
         let mut t = Trainer::new(model, &ds, cfg);
-        t.train(&ds).final_loss
+        t.train(&ds).final_loss.unwrap()
     };
     let tiny_loss = run(ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 9));
     let small_loss = run(ReslimModel::new(ModelConfig::small().with_channels(7, 3), 9));
