@@ -29,4 +29,4 @@ pub mod tape;
 pub use optim::{Adam, AdamState, AdamW, Optimizer, Sgd};
 pub use params::{ParamStore, TensorBits};
 pub use scaler::{GradScaler, ScalerState};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{tape_constructions, Gradients, Tape, Var};

@@ -149,22 +149,8 @@ impl<'t> Var<'t> {
     /// Reslim's adaptive spatial compression.
     pub fn pool_rows(&self, groups: Vec<Vec<usize>>) -> Var<'t> {
         let v = self.value();
-        assert_eq!(v.ndim(), 2, "pool_rows requires 2-d [tokens, dim]");
         let (rows, cols) = (v.shape()[0], v.shape()[1]);
-        let mut out = pool::alloc_zeroed(groups.len() * cols);
-        let src = v.data();
-        for (gi, group) in groups.iter().enumerate() {
-            assert!(!group.is_empty(), "empty pooling group {gi}");
-            let inv = 1.0 / group.len() as f32;
-            let dst = &mut out[gi * cols..(gi + 1) * cols];
-            for &r in group {
-                assert!(r < rows, "pool index {r} out of bounds");
-                for (d, &x) in dst.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
-                    *d += x * inv;
-                }
-            }
-        }
-        let y = Tensor::from_vec(vec![groups.len(), cols], out);
+        let y = v.pool_rows(&groups);
         let pid = self_id(self);
         self.tape().record_custom(
             y,
@@ -191,19 +177,8 @@ impl<'t> Var<'t> {
     /// [`Var::pool_rows`], used by the decompression stage).
     pub fn unpool_rows(&self, groups: Vec<Vec<usize>>, total_rows: usize) -> Var<'t> {
         let v = self.value();
-        assert_eq!(v.ndim(), 2);
-        assert_eq!(v.shape()[0], groups.len());
         let cols = v.shape()[1];
-        let mut out = pool::alloc_zeroed(total_rows * cols);
-        let src = v.data();
-        for (gi, group) in groups.iter().enumerate() {
-            let s = &src[gi * cols..(gi + 1) * cols];
-            for &r in group {
-                assert!(r < total_rows);
-                out[r * cols..(r + 1) * cols].copy_from_slice(s);
-            }
-        }
-        let y = Tensor::from_vec(vec![total_rows, cols], out);
+        let y = v.unpool_rows(&groups, total_rows);
         let pid = self_id(self);
         let n_groups = groups.len();
         self.tape().record_custom(

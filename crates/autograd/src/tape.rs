@@ -5,8 +5,23 @@
 use orbit2_tensor::ops::{gelu_grad_scalar, gelu_scalar};
 use orbit2_tensor::Tensor;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+/// Process-wide count of [`Tape`] constructions, across all threads.
+///
+/// The tape-free inference path must never build a tape; the guard test in
+/// `tests/no_tape_inference.rs` snapshots this counter around `downscale`
+/// and asserts a zero delta, so a regression that sneaks a `Tape::new()`
+/// back into a forward-only loop fails CI instead of silently re-paying the
+/// tape overhead.
+static TAPE_CONSTRUCTIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total number of tapes ever constructed by this process (all threads).
+pub fn tape_constructions() -> usize {
+    TAPE_CONSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 struct Node {
     value: Tensor,
@@ -18,9 +33,15 @@ struct Node {
 }
 
 /// A reverse-mode gradient tape. One tape per forward/backward graph.
-#[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        TAPE_CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
+        Tape { nodes: RefCell::new(Vec::new()) }
+    }
 }
 
 /// A value recorded on a [`Tape`]. Cheap to copy (an index + a reference).

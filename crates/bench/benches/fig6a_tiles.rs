@@ -3,7 +3,7 @@
 //! trainer; near-linear scaling is the claim under test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orbit2::inference::downscale;
+use orbit2::inference::downscale_with;
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_imaging::tiles::TileSpec;
 use orbit2_model::{ModelConfig, ReslimModel};
@@ -11,6 +11,7 @@ use orbit2_model::{ModelConfig, ReslimModel};
 fn bench_tiles_scaling(c: &mut Criterion) {
     let ds = DownscalingDataset::new(LatLonGrid::conus(64, 128), VariableSet::daymet_like(), 4, 4, 3);
     let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 3);
+    let session = model.session();
     let norm = Normalizer::fit(&ds, 2);
     let sample = ds.sample(0);
     let spec = TileSpec::square(16, 1);
@@ -21,7 +22,11 @@ fn bench_tiles_scaling(c: &mut Criterion) {
     while threads <= max.min(16) {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
         group.bench_with_input(BenchmarkId::new("16_tiles", threads), &threads, |b, _| {
-            b.iter(|| pool.install(|| downscale(&model, &norm, &sample.input, Some(spec), 1.0)))
+            b.iter(|| {
+                pool.install(|| {
+                    downscale_with(&model, &session, &norm, &sample.input, Some(spec), 1.0).unwrap()
+                })
+            })
         });
         threads *= 2;
     }

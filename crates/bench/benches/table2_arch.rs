@@ -2,10 +2,11 @@
 //! identical inputs. The baseline pays `factor^2` more tokens plus the
 //! quadratic attention on them; the measured ratio is the paper's speedup
 //! mechanism at CPU scale.
+//!
+//! Forwards run tape-free through prepared inference sessions — the bench
+//! measures the architectures, not the autograd bookkeeping.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orbit2_autograd::Tape;
-use orbit2_model::binder::Binder;
 use orbit2_model::{BaselineVit, ModelConfig, ReslimModel};
 use orbit2_tensor::random::randn;
 
@@ -13,23 +14,17 @@ fn bench_arch(c: &mut Criterion) {
     let cfg = ModelConfig::tiny().with_channels(7, 3);
     let reslim = ReslimModel::new(cfg, 1);
     let vit = BaselineVit::new(cfg, 1);
+    let reslim_sess = reslim.session();
+    let vit_sess = vit.session();
     let mut group = c.benchmark_group("table2a_arch");
     group.sample_size(10);
     for &(h, w) in &[(8usize, 16usize), (16, 32)] {
         let input = randn(&[7, h, w], 5);
         group.bench_with_input(BenchmarkId::new("baseline_vit", format!("{h}x{w}")), &input, |b, input| {
-            b.iter(|| {
-                let tape = Tape::new();
-                let binder = Binder::new(&tape, &vit.params);
-                vit.forward(&binder, input).value()
-            })
+            b.iter(|| vit.forward(&vit_sess, input).into_tensor())
         });
         group.bench_with_input(BenchmarkId::new("reslim", format!("{h}x{w}")), &input, |b, input| {
-            b.iter(|| {
-                let tape = Tape::new();
-                let binder = Binder::new(&tape, &reslim.params);
-                reslim.forward(&binder, input, 1.0).0.value()
-            })
+            b.iter(|| reslim.forward(&reslim_sess, input, 1.0).0.into_tensor())
         });
     }
     group.finish();

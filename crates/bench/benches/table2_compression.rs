@@ -1,32 +1,27 @@
 //! Table II(b), real kernels: Reslim forward pass under adaptive
-//! compression ratios and tile counts.
+//! compression ratios and tile counts, tape-free via inference sessions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orbit2_autograd::Tape;
-use orbit2_model::binder::Binder;
 use orbit2_model::{ModelConfig, ReslimModel};
 use orbit2_tensor::random::randn;
 
 fn bench_compression(c: &mut Criterion) {
     let cfg = ModelConfig::tiny().with_channels(7, 3);
     let model = ReslimModel::new(cfg, 1);
+    let session = model.session();
     let input = randn(&[7, 32, 32], 9);
     let mut group = c.benchmark_group("table2b_compression");
     group.sample_size(10);
     for &ratio in &[1.0f32, 2.0, 4.0, 8.0] {
         group.bench_with_input(BenchmarkId::new("reslim_forward", format!("{ratio}x")), &ratio, |b, &ratio| {
-            b.iter(|| {
-                let tape = Tape::new();
-                let binder = Binder::new(&tape, &model.params);
-                model.forward(&binder, &input, ratio).0.value()
-            })
+            b.iter(|| model.forward(&session, &input, ratio).0.into_tensor())
         });
     }
     group.finish();
 }
 
 fn bench_tiling(c: &mut Criterion) {
-    use orbit2::inference::downscale;
+    use orbit2::inference::downscale_with;
     use orbit2_climate::Normalizer;
     use orbit2_imaging::tiles::TileSpec;
     let ds = orbit2_climate::DownscalingDataset::new(
@@ -37,6 +32,7 @@ fn bench_tiling(c: &mut Criterion) {
         3,
     );
     let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 2);
+    let session = model.session();
     let norm = Normalizer::fit(&ds, 2);
     let sample = ds.sample(0);
     let mut group = c.benchmark_group("table2b_tiling");
@@ -44,7 +40,7 @@ fn bench_tiling(c: &mut Criterion) {
     for &tiles in &[1usize, 4, 16] {
         let spec = if tiles == 1 { None } else { Some(TileSpec::square(tiles, 1)) };
         group.bench_with_input(BenchmarkId::new("tiled_inference", tiles), &spec, |b, spec| {
-            b.iter(|| downscale(&model, &norm, &sample.input, *spec, 1.0))
+            b.iter(|| downscale_with(&model, &session, &norm, &sample.input, *spec, 1.0).unwrap())
         });
     }
     group.finish();

@@ -36,10 +36,11 @@ pub fn render_6a_simulated() -> String {
 /// Measured Fig. 6(a): real tiled inference over rayon thread pools of
 /// increasing size. Returns `(threads, seconds)` pairs.
 pub fn measure_6a_threads(max_threads: usize) -> Vec<(usize, f64)> {
-    use orbit2::inference::downscale;
+    use orbit2::inference::downscale_with;
     use orbit2_imaging::tiles::TileSpec;
     let ds = crate::setup::us_dataset(4, 3);
     let model = crate::setup::tiny_model(3);
+    let session = model.session();
     let norm = orbit2_climate::Normalizer::fit(&ds, 2);
     let sample = ds.sample(0);
     let spec = TileSpec::square(16, 1);
@@ -52,7 +53,8 @@ pub fn measure_6a_threads(max_threads: usize) -> Vec<(usize, f64)> {
             .expect("thread pool");
         let secs = pool.install(|| {
             let start = Instant::now();
-            let _ = downscale(&model, &norm, &sample.input, Some(spec), 1.0);
+            let _ = downscale_with(&model, &session, &norm, &sample.input, Some(spec), 1.0)
+                .expect("valid sample");
             start.elapsed().as_secs_f64()
         });
         out.push((threads, secs));

@@ -37,8 +37,8 @@ pub fn spectra(
     let chan = ds.variables().output_index("tmin").expect("tmin channel");
     let plane = h * w;
     let truth_field = &s.target.data()[chan * plane..(chan + 1) * plane];
-    let pred_t = downscale(tiny.0, tiny.1, &s.input, None, 1.0);
-    let pred_s = downscale(small.0, small.1, &s.input, None, 1.0);
+    let pred_t = downscale(tiny.0, tiny.1, &s.input, None, 1.0).expect("valid sample");
+    let pred_s = downscale(small.0, small.1, &s.input, None, 1.0).expect("valid sample");
     let ps_truth = radial_power_spectrum(truth_field, h, w);
     let ps_tiny = radial_power_spectrum(&pred_t.data()[chan * plane..(chan + 1) * plane], h, w);
     let ps_small = radial_power_spectrum(&pred_s.data()[chan * plane..(chan + 1) * plane], h, w);
@@ -87,7 +87,7 @@ pub fn render_7b(result_model: (&ReslimModel, &Normalizer), ds: &DownscalingData
     let chan = ds.variables().output_index("prcp").expect("prcp channel");
     let plane = h * w;
     let truth = &s.target.data()[chan * plane..(chan + 1) * plane];
-    let pred = downscale(result_model.0, result_model.1, &s.input, None, 1.0);
+    let pred = downscale(result_model.0, result_model.1, &s.input, None, 1.0).expect("valid sample");
     let pred_field = &pred.data()[chan * plane..(chan + 1) * plane];
     write_pgm(&dir.join("fig7b_truth.pgm"), truth, h, w)?;
     write_pgm(&dir.join("fig7b_prediction.pgm"), pred_field, h, w)?;

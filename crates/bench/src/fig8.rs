@@ -10,7 +10,7 @@
 
 use crate::fmt::Table;
 use crate::setup::{global_dataset, train_model};
-use orbit2::inference::downscale;
+use orbit2::inference::downscale_with;
 use orbit2_climate::imerg::{observe_precipitation, ImergLikeParams};
 use orbit2_climate::Split;
 use orbit2_metrics::precip::log_precip_slice;
@@ -46,9 +46,12 @@ pub fn run(steps: usize, samples: usize) -> Fig8Result {
     let mut preds = Vec::new();
     let mut obs = Vec::new();
     let mut truth = Vec::new();
+    let session = trainer.model.session();
     for &i in &test_idx {
         let s = ds.sample(i);
-        let pred = downscale(&trainer.model, &trainer.normalizer, &s.input, None, 1.0);
+        let pred =
+            downscale_with(&trainer.model, &session, &trainer.normalizer, &s.input, None, 1.0)
+                .expect("valid sample");
         preds.extend_from_slice(&pred.data()[chan * plane..(chan + 1) * plane]);
         truth.extend_from_slice(&s.target.data()[chan * plane..(chan + 1) * plane]);
         obs.extend(observe_precipitation(ds.world(), s.t, ImergLikeParams::default()));

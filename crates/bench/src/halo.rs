@@ -42,7 +42,8 @@ pub fn run(steps: usize) -> Vec<HaloPoint> {
                 &test_idx,
                 Some(spec),
                 1.0,
-            );
+            )
+            .expect("valid test split");
             let rmse = reports[0].report.rmse; // tmin
             let grid = tile_grid(h, w, spec);
             let overhead =

@@ -10,9 +10,7 @@
 
 use crate::fmt::{sci, Table};
 use orbit2::planner::arch_comparison;
-use orbit2_autograd::Tape;
 use orbit2_cluster::topology::ClusterSpec;
-use orbit2_model::binder::Binder;
 use orbit2_model::profiler::SequenceAccounting;
 use orbit2_model::{BaselineVit, ModelConfig, ReslimModel};
 use orbit2_parallel::ReslimCostModel;
@@ -57,11 +55,14 @@ pub fn render_2a_simulated() -> String {
 }
 
 /// Measured Table II(a): real forward-pass wall-clock of the tiny twins on
-/// this CPU. Returns `(vit_time_s, reslim_time_s, speedup)`.
+/// this CPU, tape-free. Returns `(vit_time_s, reslim_time_s, speedup)`.
 pub fn measure_2a_kernels(h: usize, w: usize, reps: usize) -> (f64, f64, f64) {
     let cfg = ModelConfig::tiny().with_channels(7, 3);
     let reslim = ReslimModel::new(cfg, 1);
     let vit = BaselineVit::new(cfg, 1);
+    // Sessions are prepared outside the timed region: pure forward cost.
+    let reslim_sess = reslim.session();
+    let vit_sess = vit.session();
     let input = randn(&[7, h, w], 42);
     let time = |f: &dyn Fn()| {
         // One warmup, then the mean of `reps`.
@@ -73,14 +74,10 @@ pub fn measure_2a_kernels(h: usize, w: usize, reps: usize) -> (f64, f64, f64) {
         start.elapsed().as_secs_f64() / reps as f64
     };
     let t_vit = time(&|| {
-        let tape = Tape::new();
-        let binder = Binder::new(&tape, &vit.params);
-        let _ = vit.forward(&binder, &input).value();
+        let _ = vit.forward(&vit_sess, &input).into_tensor();
     });
     let t_reslim = time(&|| {
-        let tape = Tape::new();
-        let binder = Binder::new(&tape, &reslim.params);
-        let _ = reslim.forward(&binder, &input, 1.0).0.value();
+        let _ = reslim.forward(&reslim_sess, &input, 1.0).0.into_tensor();
     });
     (t_vit, t_reslim, t_vit / t_reslim)
 }

@@ -28,9 +28,11 @@ pub fn run(steps: usize, samples: usize) -> Table4Result {
     let ds = us_dataset(samples, 77);
     let test_idx = ds.indices(Split::Test);
     let (tiny_tr, tiny_rep) = train_model(tiny_model(7), &ds, steps, 2e-3);
-    let tiny = evaluate_model(&tiny_tr.model, &tiny_tr.normalizer, &ds, &test_idx, None, 1.0);
+    let tiny = evaluate_model(&tiny_tr.model, &tiny_tr.normalizer, &ds, &test_idx, None, 1.0)
+        .expect("valid test split");
     let (small_tr, small_rep) = train_model(small_model(7), &ds, steps, 2e-3);
-    let small = evaluate_model(&small_tr.model, &small_tr.normalizer, &ds, &test_idx, None, 1.0);
+    let small = evaluate_model(&small_tr.model, &small_tr.normalizer, &ds, &test_idx, None, 1.0)
+        .expect("valid test split");
     let climatology = (
         precip_climatology(&tiny_tr, &ds, &test_idx),
         precip_climatology(&small_tr, &ds, &test_idx),
@@ -52,9 +54,18 @@ fn precip_climatology(trainer: &Trainer, ds: &DownscalingDataset, idx: &[usize])
     let plane = ds.fine_grid().h * ds.fine_grid().w;
     let mut preds = Vec::new();
     let mut truths = Vec::new();
+    let session = trainer.model.session();
     for &i in idx {
         let s = ds.sample(i);
-        let p = orbit2::inference::downscale(&trainer.model, &trainer.normalizer, &s.input, None, 1.0);
+        let p = orbit2::inference::downscale_with(
+            &trainer.model,
+            &session,
+            &trainer.normalizer,
+            &s.input,
+            None,
+            1.0,
+        )
+        .expect("valid sample");
         preds.extend_from_slice(&p.data()[chan * plane..(chan + 1) * plane]);
         truths.extend_from_slice(&s.target.data()[chan * plane..(chan + 1) * plane]);
     }

@@ -1,7 +1,7 @@
 //! Evaluation of a trained model on a dataset split: the per-variable
 //! metric rows of the paper's Table IV.
 
-use crate::inference::downscale;
+use crate::inference::{downscale_with, InferenceError};
 use orbit2_climate::{DownscalingDataset, Normalizer};
 use orbit2_imaging::tiles::TileSpec;
 use orbit2_metrics::regression::EvalReport;
@@ -21,6 +21,9 @@ pub struct VariableReport {
 /// Evaluate the model on the given sample indices, producing one report per
 /// output variable. Precipitation variables are evaluated in `log(x+1)`
 /// space per the paper's convention.
+///
+/// One tape-free session is prepared up front and reused for every sample,
+/// so weight packing is paid once for the whole split.
 pub fn evaluate_model(
     model: &ReslimModel,
     normalizer: &Normalizer,
@@ -28,8 +31,9 @@ pub fn evaluate_model(
     indices: &[usize],
     tile_spec: Option<TileSpec>,
     compression: f32,
-) -> Vec<VariableReport> {
+) -> Result<Vec<VariableReport>, InferenceError> {
     assert!(!indices.is_empty(), "no samples to evaluate");
+    let session = model.session();
     let vs = dataset.variables();
     let c_out = vs.num_outputs();
     let (fh, fw) = (dataset.fine_grid().h, dataset.fine_grid().w);
@@ -38,20 +42,21 @@ pub fn evaluate_model(
     let mut truths: Vec<Vec<f32>> = vec![Vec::with_capacity(indices.len() * plane); c_out];
     for &i in indices {
         let s = dataset.sample(i);
-        let pred = downscale(model, normalizer, &s.input, tile_spec, compression);
+        let pred =
+            downscale_with(model, &session, normalizer, &s.input, tile_spec, compression)?;
         for c in 0..c_out {
             preds[c].extend_from_slice(&pred.data()[c * plane..(c + 1) * plane]);
             truths[c].extend_from_slice(&s.target.data()[c * plane..(c + 1) * plane]);
         }
     }
-    (0..c_out)
+    Ok((0..c_out)
         .map(|c| {
             let name = vs.outputs[c].name.clone();
             let log_space = name.contains("prcp") || name.contains("precip");
             let report = orbit2_metrics::evaluate(&preds[c], &truths[c], fh, fw, log_space);
             VariableReport { name, log_space, report }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -66,7 +71,7 @@ mod tests {
         let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 3);
         let norm = Normalizer::fit(&ds, 4);
         let test_idx = ds.indices(Split::Test);
-        let reports = evaluate_model(&model, &norm, &ds, &test_idx, None, 1.0);
+        let reports = evaluate_model(&model, &norm, &ds, &test_idx, None, 1.0).unwrap();
         assert_eq!(reports.len(), 3);
         let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["tmin", "tmax", "prcp"]);
@@ -83,7 +88,7 @@ mod tests {
         let ds = DownscalingDataset::new(LatLonGrid::conus(16, 32), VariableSet::daymet_like(), 4, 12, 9);
         let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 4);
         let norm = Normalizer::fit(&ds, 4);
-        let reports = evaluate_model(&model, &norm, &ds, &[11], None, 1.0);
+        let reports = evaluate_model(&model, &norm, &ds, &[11], None, 1.0).unwrap();
         // An untrained model should not already achieve the paper's 0.99.
         assert!(reports[0].report.r2 < 0.99);
     }

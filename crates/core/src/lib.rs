@@ -35,6 +35,6 @@ pub use checkpoint::{
 };
 pub use eval::{evaluate_model, VariableReport};
 pub use fault::{FaultAction, FaultEvent, FaultKind, FaultPlan, SkipReason};
-pub use inference::downscale;
+pub use inference::{downscale, downscale_with, validate_input, InferenceError};
 pub use planner::{max_sequence_row, strong_scaling_series, ScalingPoint, SeqLenRow};
 pub use trainer::{TrainReport, Trainer, TrainerConfig};

@@ -8,12 +8,13 @@
 //! grid — `factor^2` times more tokens than Reslim sees, with quadratic
 //! attention on top. This is precisely the cost the Reslim design removes.
 
-use crate::binder::Binder;
 use crate::blocks::{init_block_params, transformer_block};
 use crate::config::ModelConfig;
 use crate::embed::{sincos_positions, unpatchify_permutation};
+use crate::exec::Exec;
+use crate::infer::InferenceSession;
 use crate::paths::permute_elements;
-use orbit2_autograd::{ParamStore, Var};
+use orbit2_autograd::ParamStore;
 use orbit2_tensor::conv::ConvGeom;
 use orbit2_tensor::random::{kaiming, xavier};
 use orbit2_tensor::resize::{resize, ResizeMode};
@@ -68,8 +69,13 @@ impl BaselineVit {
         (oh / self.cfg.patch) * (ow / self.cfg.patch)
     }
 
+    /// Prepare a tape-free inference context over this model's weights.
+    pub fn session(&self) -> InferenceSession {
+        InferenceSession::prepare(&self.params)
+    }
+
     /// Forward pass on one `[C_in, h, w]` sample → `[C_out, H, W]`.
-    pub fn forward<'t>(&self, binder: &Binder<'t, '_>, input: &Tensor) -> Var<'t> {
+    pub fn forward<E: Exec>(&self, ex: &E, input: &Tensor) -> E::Value {
         let cfg = &self.cfg;
         assert_eq!(input.ndim(), 3);
         let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
@@ -81,41 +87,42 @@ impl BaselineVit {
         let up = resize(input, oh, ow, ResizeMode::Bilinear);
 
         // Shallow convolutional channel aggregation to one feature plane.
-        let x = binder.constant(up.into_reshape(vec![1, c, oh, ow]));
-        let aggregated = x
-            .conv2d(
-                binder.param("agg.conv1.w"),
-                Some(binder.param("agg.conv1.b")),
-                ConvGeom::same(3),
-            )
-            .gelu()
-            .conv2d(
-                binder.param("agg.conv2.w"),
-                Some(binder.param("agg.conv2.b")),
-                ConvGeom::same(3),
-            );
+        let x = ex.constant(up.into_reshape(vec![1, c, oh, ow]));
+        let hid = ex.gelu(&ex.conv2d(
+            &x,
+            &ex.param("agg.conv1.w"),
+            Some(&ex.param("agg.conv1.b")),
+            ConvGeom::same(3),
+        ));
+        let aggregated = ex.conv2d(
+            &hid,
+            &ex.param("agg.conv2.w"),
+            Some(&ex.param("agg.conv2.b")),
+            ConvGeom::same(3),
+        );
 
         // Tokenize the full-resolution plane: the long sequence.
         let (hp, wp) = (oh / cfg.patch, ow / cfg.patch);
-        let plane_patches = to_patches(aggregated, oh, ow, cfg.patch);
-        let mut z = plane_patches.linear(binder.param("embed.w"), Some(binder.param("embed.b")));
-        let pos = binder.constant(sincos_positions(hp, wp, cfg.embed_dim));
-        z = z.add(pos);
+        let plane_patches = to_patches(ex, &aggregated, oh, ow, cfg.patch);
+        let mut z =
+            ex.linear(&plane_patches, &ex.param("embed.w"), Some(&ex.param("embed.b")));
+        let pos = ex.constant(sincos_positions(hp, wp, cfg.embed_dim));
+        z = ex.add(&z, &pos);
 
         for l in 0..cfg.layers {
-            z = transformer_block(binder, cfg, &format!("blk{l}"), z);
+            z = transformer_block(ex, cfg, &format!("blk{l}"), &z);
         }
 
         // Project back to image space per output variable.
-        let out_tokens = z.linear(binder.param("head.w"), Some(binder.param("head.b")));
+        let out_tokens = ex.linear(&z, &ex.param("head.w"), Some(&ex.param("head.b")));
         let perm = unpatchify_permutation(hp, wp, cfg.patch, cfg.out_channels);
-        permute_elements(out_tokens, perm, vec![cfg.out_channels, oh, ow])
+        permute_elements(ex, &out_tokens, perm, vec![cfg.out_channels, oh, ow])
     }
 }
 
-/// Differentiably extract `p x p` patches of a `[1, 1, H, W]` var as
+/// Differentiably extract `p x p` patches of a `[1, 1, H, W]` value as
 /// `[N, p^2]` — a fixed element permutation.
-fn to_patches<'t>(plane: Var<'t>, h: usize, w: usize, p: usize) -> Var<'t> {
+fn to_patches<E: Exec>(ex: &E, plane: &E::Value, h: usize, w: usize, p: usize) -> E::Value {
     let (hp, wp) = (h / p, w / p);
     // Build the permutation: token n, slot (dy*p + dx) <- pixel.
     let mut perm = Vec::with_capacity(h * w);
@@ -128,12 +135,13 @@ fn to_patches<'t>(plane: Var<'t>, h: usize, w: usize, p: usize) -> Var<'t> {
             }
         }
     }
-    permute_elements(plane, perm, vec![hp * wp, p * p])
+    permute_elements(ex, plane, perm, vec![hp * wp, p * p])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binder::Binder;
     use crate::embed::patchify_plane;
     use orbit2_autograd::Tape;
     use orbit2_tensor::random::randn;
@@ -181,10 +189,12 @@ mod tests {
     fn patch_extraction_matches_tensor_path() {
         // The differentiable to_patches must agree with the plain
         // patchify_plane used by Reslim's tokenizer.
+        let empty = ParamStore::new();
         let tape = Tape::new();
+        let binder = Binder::new(&tape, &empty);
         let plane = randn(&[6, 8], 3);
         let v = tape.constant(plane.reshape(vec![1, 1, 6, 8]));
-        let got = to_patches(v, 6, 8, 2).value();
+        let got = to_patches(&binder, &v, 6, 8, 2).value();
         let expect = patchify_plane(&plane, 2);
         got.assert_close(&expect, 0.0);
     }

@@ -1,10 +1,15 @@
 //! Transformer building blocks: multi-head self-attention, MLP, the
 //! pre-norm block, and the cross-attention variable aggregation that
 //! collapses the channel axis into a single token sequence (paper Fig. 2).
+//!
+//! Every forward here is generic over the execution context ([`Exec`]):
+//! the same code records on the tape when given a [`crate::Binder`] and
+//! runs tape-free on pooled tensors when given a
+//! [`crate::infer::InferenceSession`].
 
-use crate::binder::Binder;
 use crate::config::ModelConfig;
-use orbit2_autograd::{ParamStore, Var};
+use crate::exec::Exec;
+use orbit2_autograd::ParamStore;
 use orbit2_tensor::random::xavier;
 use orbit2_tensor::Tensor;
 
@@ -27,71 +32,77 @@ pub fn init_block_params(store: &mut ParamStore, cfg: &ModelConfig, prefix: &str
 }
 
 /// Multi-head self-attention over `[N, D]` tokens.
-pub fn self_attention<'t>(
-    binder: &Binder<'t, '_>,
+pub fn self_attention<E: Exec>(
+    ex: &E,
     cfg: &ModelConfig,
     prefix: &str,
-    x: Var<'t>,
-) -> Var<'t> {
+    x: &E::Value,
+) -> E::Value {
     let d = cfg.embed_dim;
     let dh = cfg.head_dim();
     // Q/K/V projections through the fused linear path (packed `x W^T`
     // kernel, no weight transpose materialized).
-    let q = x.linear(binder.param(&format!("{prefix}.attn.wq")), None);
-    let k = x.linear(binder.param(&format!("{prefix}.attn.wk")), None);
-    let v = x.linear(binder.param(&format!("{prefix}.attn.wv")), None);
+    let q = ex.linear(x, &ex.param(&format!("{prefix}.attn.wq")), None);
+    let k = ex.linear(x, &ex.param(&format!("{prefix}.attn.wk")), None);
+    let v = ex.linear(x, &ex.param(&format!("{prefix}.attn.wv")), None);
     let scale = 1.0 / (dh as f32).sqrt();
     let mut heads = Vec::with_capacity(cfg.heads);
     for h in 0..cfg.heads {
-        let qh = q.slice_axis(1, h * dh, dh);
-        let kh = k.slice_axis(1, h * dh, dh);
-        let vh = v.slice_axis(1, h * dh, dh);
+        let qh = ex.slice_axis(&q, 1, h * dh, dh);
+        let kh = ex.slice_axis(&k, 1, h * dh, dh);
+        let vh = ex.slice_axis(&v, 1, h * dh, dh);
         // Q K^T straight from row-major storage via the nt kernel.
-        let scores = qh.matmul_nt(kh).scale(scale);
-        let probs = scores.softmax_last();
-        heads.push(probs.matmul(vh));
+        let scores = ex.scale(&ex.matmul_nt(&qh, &kh), scale);
+        let probs = ex.softmax_last(&scores);
+        heads.push(ex.matmul(&probs, &vh));
     }
-    let concat = Var::concat(&heads, 1);
-    debug_assert_eq!(concat.shape()[1], d);
-    concat.linear(
-        binder.param(&format!("{prefix}.attn.wo")),
-        Some(binder.param(&format!("{prefix}.attn.bo"))),
+    let concat = ex.concat(&heads, 1);
+    debug_assert_eq!(ex.shape(&concat)[1], d);
+    ex.linear(
+        &concat,
+        &ex.param(&format!("{prefix}.attn.wo")),
+        Some(&ex.param(&format!("{prefix}.attn.bo"))),
     )
 }
 
 /// Two-layer GELU MLP. The first layer runs GEMM + bias + GELU as one
-/// fused kernel with the pre-activation stored for backward.
-pub fn mlp<'t>(binder: &Binder<'t, '_>, prefix: &str, x: Var<'t>) -> Var<'t> {
-    let h = x.linear_act(
-        binder.param(&format!("{prefix}.mlp.w1")),
-        Some(binder.param(&format!("{prefix}.mlp.b1"))),
+/// fused kernel (the tape context additionally stores the pre-activation
+/// for backward; the inference context skips that).
+pub fn mlp<E: Exec>(ex: &E, prefix: &str, x: &E::Value) -> E::Value {
+    let h = ex.linear_act(
+        x,
+        &ex.param(&format!("{prefix}.mlp.w1")),
+        Some(&ex.param(&format!("{prefix}.mlp.b1"))),
         orbit2_tensor::fused::Activation::Gelu,
     );
-    h.linear(
-        binder.param(&format!("{prefix}.mlp.w2")),
-        Some(binder.param(&format!("{prefix}.mlp.b2"))),
+    ex.linear(
+        &h,
+        &ex.param(&format!("{prefix}.mlp.w2")),
+        Some(&ex.param(&format!("{prefix}.mlp.b2"))),
     )
 }
 
 /// Pre-norm transformer block: `x + Attn(LN(x))`, then `x + MLP(LN(x))`.
-pub fn transformer_block<'t>(
-    binder: &Binder<'t, '_>,
+pub fn transformer_block<E: Exec>(
+    ex: &E,
     cfg: &ModelConfig,
     prefix: &str,
-    x: Var<'t>,
-) -> Var<'t> {
-    let n1 = x.layer_norm(
-        binder.param(&format!("{prefix}.ln1.g")),
-        binder.param(&format!("{prefix}.ln1.b")),
+    x: &E::Value,
+) -> E::Value {
+    let n1 = ex.layer_norm(
+        x,
+        &ex.param(&format!("{prefix}.ln1.g")),
+        &ex.param(&format!("{prefix}.ln1.b")),
         1e-5,
     );
-    let x = x.add(self_attention(binder, cfg, prefix, n1));
-    let n2 = x.layer_norm(
-        binder.param(&format!("{prefix}.ln2.g")),
-        binder.param(&format!("{prefix}.ln2.b")),
+    let x = ex.add(x, &self_attention(ex, cfg, prefix, &n1));
+    let n2 = ex.layer_norm(
+        &x,
+        &ex.param(&format!("{prefix}.ln2.g")),
+        &ex.param(&format!("{prefix}.ln2.b")),
         1e-5,
     );
-    x.add(mlp(binder, prefix, n2))
+    ex.add(&x, &mlp(ex, prefix, &n2))
 }
 
 /// Register parameters of the cross-attention variable aggregation.
@@ -107,49 +118,50 @@ pub fn init_xattn_params(store: &mut ParamStore, cfg: &ModelConfig, seed: u64) {
 /// variable-mean query over the `C` per-variable tokens and collapse them
 /// into one (paper: "aggregate multi-variable embeddings into a unified
 /// representation, effectively collapsing the variable dimension").
-pub fn cross_attention_aggregate<'t>(
-    binder: &Binder<'t, '_>,
+pub fn cross_attention_aggregate<E: Exec>(
+    ex: &E,
     cfg: &ModelConfig,
-    tokens: &[Var<'t>],
-) -> Var<'t> {
+    tokens: &[E::Value],
+) -> E::Value {
     assert!(!tokens.is_empty());
     let d = cfg.embed_dim;
     let c = tokens.len();
     // Query: mean over variables, projected.
-    let mut sum = tokens[0];
+    let mut sum = tokens[0].clone();
     for t in &tokens[1..] {
-        sum = sum.add(*t);
+        sum = ex.add(&sum, t);
     }
-    let mean = sum.scale(1.0 / c as f32);
-    let q = mean.linear(binder.param("xattn.wq"), None);
+    let mean = ex.scale(&sum, 1.0 / c as f32);
+    let q = ex.linear(&mean, &ex.param("xattn.wq"), None);
     let scale = 1.0 / (d as f32).sqrt();
-    let ones = binder.constant(Tensor::ones(vec![d, 1]));
+    let ones = ex.constant(Tensor::ones(vec![d, 1]));
     let mut scores = Vec::with_capacity(c);
     let mut values = Vec::with_capacity(c);
     for t in tokens {
-        let k = t.linear(binder.param("xattn.wk"), None);
-        values.push(t.linear(binder.param("xattn.wv"), None));
+        let k = ex.linear(t, &ex.param("xattn.wk"), None);
+        values.push(ex.linear(t, &ex.param("xattn.wv"), None));
         // Row-wise dot product q·k -> [N, 1].
-        scores.push(q.mul(k).matmul(ones).scale(scale));
+        scores.push(ex.scale(&ex.matmul(&ex.mul(&q, &k), &ones), scale));
     }
-    let probs = Var::concat(&scores, 1).softmax_last(); // [N, C]
-    let mut out: Option<Var<'t>> = None;
+    let probs = ex.softmax_last(&ex.concat(&scores, 1)); // [N, C]
+    let mut out: Option<E::Value> = None;
     for (ci, v) in values.iter().enumerate() {
-        let p = probs.slice_axis(1, ci, 1); // [N, 1] broadcasts over D
-        let term = p.mul(*v);
+        let p = ex.slice_axis(&probs, 1, ci, 1); // [N, 1] broadcasts over D
+        let term = ex.mul(&p, v);
         out = Some(match out {
-            Some(acc) => acc.add(term),
+            Some(acc) => ex.add(&acc, &term),
             None => term,
         });
     }
-    out.unwrap()
-        .linear(binder.param("xattn.wo"), Some(binder.param("xattn.bo")))
+    ex.linear(&out.unwrap(), &ex.param("xattn.wo"), Some(&ex.param("xattn.bo")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orbit2_autograd::Tape;
+    use crate::binder::Binder;
+    use crate::infer::InferenceSession;
+    use orbit2_autograd::{Tape, Var};
     use orbit2_tensor::random::randn;
 
     fn setup(cfg: &ModelConfig) -> ParamStore {
@@ -166,9 +178,29 @@ mod tests {
         let tape = Tape::new();
         let binder = Binder::new(&tape, &store);
         let x = tape.constant(randn(&[10, cfg.embed_dim], 1));
-        let y = transformer_block(&binder, &cfg, "blk0", x);
+        let y = transformer_block(&binder, &cfg, "blk0", &x);
         assert_eq!(y.shape(), vec![10, cfg.embed_dim]);
         assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn block_matches_between_contexts_bitwise() {
+        // The same block through the tape and through a session must agree
+        // to the last bit (shared kernels, shared branch structure).
+        let cfg = ModelConfig::tiny();
+        let store = setup(&cfg);
+        let input = randn(&[10, cfg.embed_dim], 9);
+
+        let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
+        let x = tape.constant(input.clone());
+        let taped = transformer_block(&binder, &cfg, "blk0", &x).value();
+
+        let session = InferenceSession::prepare(&store);
+        let xs = Exec::constant(&session, input);
+        let free = transformer_block(&session, &cfg, "blk0", &xs).into_tensor();
+
+        assert_eq!(taped.data(), free.data());
     }
 
     #[test]
@@ -178,7 +210,7 @@ mod tests {
         let tape = Tape::new();
         let binder = Binder::new(&tape, &store);
         let x = tape.constant(randn(&[6, cfg.embed_dim], 2));
-        let y = transformer_block(&binder, &cfg, "blk0", x);
+        let y = transformer_block(&binder, &cfg, "blk0", &x);
         let loss = y.square().sum();
         let grads = tape.backward(loss);
         let gm = binder.grad_map(&grads);
@@ -206,7 +238,7 @@ mod tests {
         let tape = Tape::new();
         let binder = Binder::new(&tape, &store);
         let x = tape.constant(randn(&[5, 32], 3));
-        let y = self_attention(&binder, &cfg, "blk0", x);
+        let y = self_attention(&binder, &cfg, "blk0", &x);
         assert_eq!(y.shape(), vec![5, 32]);
     }
 

@@ -4,10 +4,11 @@
 //! quad-tree over the Canny edge density of that image decides which token
 //! regions can be merged. The *structure* decision is non-differentiable
 //! (computed on plain tensors, like the CPU-side quad-tree construction in
-//! the paper's Sec. III-C); the pooling/unpooling of token features is
-//! differentiable ([`Var::pool_rows`] / [`Var::unpool_rows`]).
+//! the paper's Sec. III-C); the pooling/unpooling of token features runs
+//! through the execution context ([`Exec::pool_rows`] / [`Exec::unpool_rows`]),
+//! so it is differentiable when training and tape-free at inference.
 
-use orbit2_autograd::Var;
+use crate::exec::Exec;
 use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
 use orbit2_tensor::Tensor;
 
@@ -92,15 +93,16 @@ impl CompressionPlan {
         (self.hp * self.wp) as f32 / self.groups.len() as f32
     }
 
-    /// Compress token features `[N, D]` to `[M, D]` (differentiable).
-    pub fn compress<'t>(&self, tokens: Var<'t>) -> Var<'t> {
-        assert_eq!(tokens.shape()[0], self.hp * self.wp, "token count mismatch");
-        tokens.pool_rows(self.groups.clone())
+    /// Compress token features `[N, D]` to `[M, D]` (differentiable on the
+    /// tape context).
+    pub fn compress<E: Exec>(&self, ex: &E, tokens: &E::Value) -> E::Value {
+        assert_eq!(ex.shape(tokens)[0], self.hp * self.wp, "token count mismatch");
+        ex.pool_rows(tokens, &self.groups)
     }
 
-    /// Decompress `[M, D]` back to the full `[N, D]` grid (differentiable).
-    pub fn decompress<'t>(&self, compressed: Var<'t>) -> Var<'t> {
-        compressed.unpool_rows(self.groups.clone(), self.hp * self.wp)
+    /// Decompress `[M, D]` back to the full `[N, D]` grid.
+    pub fn decompress<E: Exec>(&self, ex: &E, compressed: &E::Value) -> E::Value {
+        ex.unpool_rows(compressed, &self.groups, self.hp * self.wp)
     }
 }
 
@@ -115,7 +117,8 @@ pub fn token_saliency(tokens: &Tensor, hp: usize, wp: usize) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orbit2_autograd::Tape;
+    use crate::binder::Binder;
+    use orbit2_autograd::{ParamStore, Tape};
     use orbit2_tensor::random::randn;
 
     fn edge_image(hp: usize, wp: usize) -> Tensor {
@@ -130,9 +133,11 @@ mod tests {
         let plan = CompressionPlan::identity(4, 4);
         assert_eq!(plan.compressed_len(), 16);
         assert_eq!(plan.ratio(), 1.0);
+        let store = ParamStore::new();
         let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
         let x = tape.constant(randn(&[16, 8], 1));
-        let y = plan.decompress(plan.compress(x));
+        let y = plan.decompress(&binder, &plan.compress(&binder, &x));
         y.value().assert_close(&x.value(), 1e-6);
     }
 
@@ -167,9 +172,11 @@ mod tests {
     fn compress_decompress_preserves_group_means() {
         let img = edge_image(16, 16);
         let plan = CompressionPlan::adaptive(&img, 4.0);
+        let store = ParamStore::new();
         let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
         let x = tape.constant(randn(&[256, 4], 3));
-        let rec = plan.decompress(plan.compress(x)).value();
+        let rec = plan.decompress(&binder, &plan.compress(&binder, &x)).value();
         // Within each group the reconstruction is the group's mean.
         let xv = x.value();
         for g in &plan.groups {
@@ -191,9 +198,11 @@ mod tests {
     fn gradients_flow_through_compression() {
         let img = edge_image(8, 8);
         let plan = CompressionPlan::adaptive(&img, 2.0);
+        let store = ParamStore::new();
         let tape = Tape::new();
+        let binder = Binder::new(&tape, &store);
         let x = tape.leaf(randn(&[64, 4], 5));
-        let loss = plan.decompress(plan.compress(x)).square().sum();
+        let loss = plan.decompress(&binder, &plan.compress(&binder, &x)).square().sum();
         let grads = tape.backward(loss);
         let g = grads.get(x).expect("gradient must reach tokens");
         assert!(g.data().iter().any(|&v| v != 0.0));

@@ -2,9 +2,9 @@
 //! sinusoidal positions, and the learnable resolution embedding that makes
 //! predictions resolution-aware (paper Sec. III-A).
 
-use crate::binder::Binder;
 use crate::config::ModelConfig;
-use orbit2_autograd::{ParamStore, Var};
+use crate::exec::Exec;
+use orbit2_autograd::ParamStore;
 use orbit2_tensor::random::{randn, xavier};
 use orbit2_tensor::Tensor;
 
@@ -116,24 +116,20 @@ pub fn sincos_positions(hp: usize, wp: usize, d: usize) -> Tensor {
 
 /// Tokenize every variable of a `[C, h, w]` input: returns the per-variable
 /// token matrices `[N, D]` with variable embeddings added.
-pub fn tokenize<'t>(
-    binder: &Binder<'t, '_>,
-    cfg: &ModelConfig,
-    input: &Tensor,
-) -> Vec<Var<'t>> {
+pub fn tokenize<E: Exec>(ex: &E, cfg: &ModelConfig, input: &Tensor) -> Vec<E::Value> {
     assert_eq!(input.ndim(), 3, "input must be [C, h, w]");
     let c = input.shape()[0];
     assert_eq!(c, cfg.in_channels, "input channels {c} != config {}", cfg.in_channels);
-    let w_embed = binder.param("embed.w");
-    let b_embed = binder.param("embed.b");
-    let var_embed = binder.param("embed.var");
+    let w_embed = ex.param("embed.w");
+    let b_embed = ex.param("embed.b");
+    let var_embed = ex.param("embed.var");
     (0..c)
         .map(|ci| {
             let plane = input.slice_axis(0, ci, 1).into_reshape(vec![input.shape()[1], input.shape()[2]]);
-            let patches = binder.constant(patchify_plane(&plane, cfg.patch));
-            let tok = patches.linear(w_embed, Some(b_embed));
-            let ve = var_embed.slice_axis(0, ci, 1); // [1, D] broadcasts over N
-            tok.add(ve)
+            let patches = ex.constant(patchify_plane(&plane, cfg.patch));
+            let tok = ex.linear(&patches, &w_embed, Some(&b_embed));
+            let ve = ex.slice_axis(&var_embed, 0, ci, 1); // [1, D] broadcasts over N
+            ex.add(&tok, &ve)
         })
         .collect()
 }
@@ -141,6 +137,7 @@ pub fn tokenize<'t>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binder::Binder;
     use orbit2_autograd::Tape;
 
     #[test]

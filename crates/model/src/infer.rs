@@ -1,0 +1,234 @@
+//! The tape-free inference context.
+//!
+//! [`InferenceSession`] is the deployment counterpart of [`crate::Binder`]:
+//! it implements [`Exec`] directly on pooled tensors, so a forward pass
+//! records no tape nodes, stores no pre-activations, and accumulates no
+//! backward closures. Weights are taken from the model's `ParamStore` once
+//! at session creation; every linear weight additionally gets its `W^T`
+//! packed into microkernel strips right there ([`PackedWeight`]) and the
+//! pack stays resident for the session's lifetime — the per-call pack that
+//! `matmul_bias_act` pays on the tape path disappears entirely.
+//!
+//! A session is `Send + Sync`: the TILES inference driver shares one
+//! session across its rayon tile workers, so the pack cost is paid once
+//! per *model*, not once per tile or per sample.
+
+use crate::exec::Exec;
+use orbit2_autograd::ParamStore;
+use orbit2_tensor::conv::{conv2d, ConvGeom};
+use orbit2_tensor::fused::{layer_norm_rows, matmul_bias_act_cached, Activation, PackedWeight};
+use orbit2_tensor::resize::{resize, ResizeMode};
+use orbit2_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A value flowing through a tape-free forward pass: the tensor plus, for
+/// session-resident weights, the shared `W^T` pack.
+///
+/// Cloning is cheap (a COW tensor handle and an `Arc` bump). Intermediate
+/// results carry no pack; only values returned by [`Exec::param`] on a
+/// session do, which is exactly where [`Exec::linear_act`] looks for it.
+#[derive(Clone, Debug)]
+pub struct SessionValue {
+    tensor: Tensor,
+    pack: Option<Arc<PackedWeight>>,
+}
+
+impl SessionValue {
+    fn plain(tensor: Tensor) -> Self {
+        SessionValue { tensor, pack: None }
+    }
+
+    /// The underlying tensor.
+    pub fn tensor(&self) -> &Tensor {
+        &self.tensor
+    }
+
+    /// Unwrap into the underlying tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.tensor
+    }
+}
+
+/// Tape-free execution context holding session-resident weights and packs.
+pub struct InferenceSession {
+    values: BTreeMap<String, SessionValue>,
+}
+
+impl InferenceSession {
+    /// Snapshot a parameter store for inference, packing every eligible
+    /// linear weight (2-d, enough output features for the packed
+    /// microkernel) exactly once. Biases, layer-norm gains and conv
+    /// kernels are held unpacked — no GEMM ever consumes them as `B`.
+    pub fn prepare(store: &ParamStore) -> Self {
+        let values = store
+            .iter()
+            .map(|(name, t)| {
+                let pack = PackedWeight::pack(t).map(Arc::new);
+                (name.clone(), SessionValue { tensor: t.clone(), pack })
+            })
+            .collect();
+        Self { values }
+    }
+
+    /// Number of weights with a resident pack.
+    pub fn packed_weights(&self) -> usize {
+        self.values.values().filter(|v| v.pack.is_some()).count()
+    }
+}
+
+impl Exec for InferenceSession {
+    type Value = SessionValue;
+
+    fn param(&self, name: &str) -> SessionValue {
+        self.values
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+            .clone()
+    }
+
+    fn constant(&self, t: Tensor) -> SessionValue {
+        SessionValue::plain(t)
+    }
+
+    fn tensor(&self, v: &SessionValue) -> Tensor {
+        v.tensor.clone()
+    }
+
+    fn shape(&self, v: &SessionValue) -> Vec<usize> {
+        v.tensor.shape().to_vec()
+    }
+
+    fn add(&self, a: &SessionValue, b: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.add(&b.tensor))
+    }
+
+    fn mul(&self, a: &SessionValue, b: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.mul(&b.tensor))
+    }
+
+    fn scale(&self, a: &SessionValue, s: f32) -> SessionValue {
+        SessionValue::plain(a.tensor.mul_scalar(s))
+    }
+
+    fn gelu(&self, a: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.gelu())
+    }
+
+    fn matmul(&self, a: &SessionValue, b: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.matmul(&b.tensor))
+    }
+
+    fn matmul_nt(&self, a: &SessionValue, b: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.matmul_nt(&b.tensor))
+    }
+
+    fn softmax_last(&self, a: &SessionValue) -> SessionValue {
+        SessionValue::plain(a.tensor.softmax_last())
+    }
+
+    fn slice_axis(&self, a: &SessionValue, axis: usize, start: usize, len: usize) -> SessionValue {
+        SessionValue::plain(a.tensor.slice_axis(axis, start, len))
+    }
+
+    fn concat(&self, parts: &[SessionValue], axis: usize) -> SessionValue {
+        let refs: Vec<&Tensor> = parts.iter().map(|p| &p.tensor).collect();
+        SessionValue::plain(Tensor::concat(&refs, axis))
+    }
+
+    fn gather_rows(&self, a: &SessionValue, indices: Vec<usize>) -> SessionValue {
+        SessionValue::plain(a.tensor.gather_rows(&indices))
+    }
+
+    fn reshape(&self, a: &SessionValue, shape: Vec<usize>) -> SessionValue {
+        SessionValue::plain(a.tensor.reshape(shape))
+    }
+
+    fn linear_act(
+        &self,
+        x: &SessionValue,
+        w: &SessionValue,
+        bias: Option<&SessionValue>,
+        act: Activation,
+    ) -> SessionValue {
+        let bt = bias.map(|b| &b.tensor);
+        SessionValue::plain(matmul_bias_act_cached(&x.tensor, &w.tensor, w.pack.as_deref(), bt, act))
+    }
+
+    fn layer_norm(
+        &self,
+        x: &SessionValue,
+        gamma: &SessionValue,
+        beta: &SessionValue,
+        eps: f32,
+    ) -> SessionValue {
+        let v = &x.tensor;
+        let last = v.ndim() - 1;
+        let d = v.shape()[last];
+        let rows = v.len() / d;
+        let (norm, _inv_std) = layer_norm_rows(v.data(), rows, d, eps);
+        let norm_t = Tensor::from_vec(v.shape().to_vec(), norm);
+        SessionValue::plain(norm_t.mul(&gamma.tensor).add(&beta.tensor))
+    }
+
+    fn conv2d(
+        &self,
+        x: &SessionValue,
+        w: &SessionValue,
+        bias: Option<&SessionValue>,
+        geom: ConvGeom,
+    ) -> SessionValue {
+        let bt = bias.map(|b| &b.tensor);
+        SessionValue::plain(conv2d(&x.tensor, &w.tensor, bt, geom))
+    }
+
+    fn resize_bilinear(&self, x: &SessionValue, out_h: usize, out_w: usize) -> SessionValue {
+        SessionValue::plain(resize(&x.tensor, out_h, out_w, ResizeMode::Bilinear))
+    }
+
+    fn pool_rows(&self, x: &SessionValue, groups: &[Vec<usize>]) -> SessionValue {
+        SessionValue::plain(x.tensor.pool_rows(groups))
+    }
+
+    fn unpool_rows(
+        &self,
+        x: &SessionValue,
+        groups: &[Vec<usize>],
+        total_rows: usize,
+    ) -> SessionValue {
+        SessionValue::plain(x.tensor.unpool_rows(groups, total_rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit2_tensor::random::randn;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn session_is_shareable_across_threads() {
+        assert_send_sync::<InferenceSession>();
+        assert_send_sync::<SessionValue>();
+    }
+
+    #[test]
+    fn prepare_packs_linear_weights_only() {
+        let mut store = ParamStore::new();
+        store.insert("mlp.w1", randn(&[64, 32], 1)); // packable linear weight
+        store.insert("ln.g", Tensor::ones(vec![32])); // 1-d: never packed
+        store.insert("conv.w", randn(&[8, 4, 3, 3], 2)); // 4-d: never packed
+        store.insert("embed.res", randn(&[4, 32], 3)); // n < LANES: never packed
+        let session = InferenceSession::prepare(&store);
+        let expected = if orbit2_tensor::simd::enabled() { 1 } else { 0 };
+        assert_eq!(session.packed_weights(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_param_panics_like_store() {
+        let session = InferenceSession::prepare(&ParamStore::new());
+        let _ = session.param("nope");
+    }
+}

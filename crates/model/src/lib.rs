@@ -7,6 +7,10 @@
 //!   trainable twins used for the CPU accuracy experiments;
 //! * [`binder`] — binds a [`orbit2_autograd::ParamStore`] onto a tape,
 //!   memoizing leaf vars so each parameter gets exactly one gradient slot;
+//! * [`exec`] — the execution-context trait ([`exec::Exec`]) every forward
+//!   is generic over: tape-recording for training, tape-free for inference;
+//! * [`infer`] — the tape-free [`infer::InferenceSession`] context with
+//!   session-resident packed weights;
 //! * [`embed`] — per-variable patch tokenization, 2-D sinusoidal positions
 //!   and the learnable resolution embedding;
 //! * [`blocks`] — multi-head self-attention, MLP and transformer blocks,
@@ -30,6 +34,8 @@ pub mod blocks;
 pub mod compress;
 pub mod config;
 pub mod embed;
+pub mod exec;
+pub mod infer;
 pub mod loss;
 pub mod paths;
 pub mod profiler;
@@ -38,6 +44,8 @@ pub mod reslim;
 pub use baseline::BaselineVit;
 pub use binder::Binder;
 pub use config::ModelConfig;
+pub use exec::Exec;
+pub use infer::{InferenceSession, SessionValue};
 pub use loss::{bayesian_loss, BayesianLossCfg};
 pub use profiler::ModelProfile;
 pub use reslim::ReslimModel;

@@ -7,10 +7,10 @@
 //! "convolutional layers and linear projections" that reconstruct the
 //! output.
 
-use crate::binder::Binder;
 use crate::config::ModelConfig;
 use crate::embed::unpatchify_permutation;
-use orbit2_autograd::{ParamStore, Var};
+use crate::exec::Exec;
+use orbit2_autograd::ParamStore;
 use orbit2_tensor::conv::ConvGeom;
 use orbit2_tensor::random::{kaiming, xavier};
 use orbit2_tensor::Tensor;
@@ -53,71 +53,79 @@ pub fn init_residual_params(store: &mut ParamStore, cfg: &ModelConfig, seed: u64
     store.insert("res.conv2.b", Tensor::zeros(vec![cfg.out_channels]));
 }
 
-/// Rearrange a `[rows, cols]` var into a new flat shape by an element
-/// permutation (`out[i] = flat(in)[perm[i]]`), differentiably.
-pub fn permute_elements<'t>(v: Var<'t>, perm: Vec<usize>, out_shape: Vec<usize>) -> Var<'t> {
-    let n: usize = v.shape().iter().product();
+/// Rearrange a `[rows, cols]` value into a new flat shape by an element
+/// permutation (`out[i] = flat(in)[perm[i]]`), differentiably on the tape.
+pub fn permute_elements<E: Exec>(
+    ex: &E,
+    v: &E::Value,
+    perm: Vec<usize>,
+    out_shape: Vec<usize>,
+) -> E::Value {
+    let n: usize = ex.shape(v).iter().product();
     let m: usize = out_shape.iter().product();
     assert_eq!(perm.len(), m);
-    let flat = v.reshape(vec![n, 1]);
-    flat.gather_rows(perm).reshape(out_shape)
+    let flat = ex.reshape(v, vec![n, 1]);
+    ex.reshape(&ex.gather_rows(&flat, perm), out_shape)
 }
 
 /// Decode ViT tokens `[N, D]` on an `hp x wp` grid into a high-resolution
 /// `[C_out, hp*p*factor, wp*p*factor]` image.
-pub fn decode<'t>(
-    binder: &Binder<'t, '_>,
+pub fn decode<E: Exec>(
+    ex: &E,
     cfg: &ModelConfig,
-    tokens: Var<'t>,
+    tokens: &E::Value,
     hp: usize,
     wp: usize,
-) -> Var<'t> {
-    assert_eq!(tokens.shape()[0], hp * wp, "token/grid mismatch");
+) -> E::Value {
+    assert_eq!(ex.shape(tokens)[0], hp * wp, "token/grid mismatch");
     let p = cfg.patch;
     // [N, D] -> [N, p^2 * hidden]
-    let projected = tokens.linear(binder.param("dec.proj.w"), Some(binder.param("dec.proj.b")));
+    let projected =
+        ex.linear(tokens, &ex.param("dec.proj.w"), Some(&ex.param("dec.proj.b")));
     // Rearrange to [hidden, h, w] at input resolution.
     let (h, w) = (hp * p, wp * p);
     let hidden = path_hidden(cfg);
     let perm = unpatchify_permutation(hp, wp, p, hidden);
-    let img = permute_elements(projected, perm, vec![1, hidden, h, w]);
+    let img = permute_elements(ex, &projected, perm, vec![1, hidden, h, w]);
     // Upsample to output resolution and refine with a 3x3 conv.
-    let up = img.gelu().resize_bilinear(h * cfg.scale_factor, w * cfg.scale_factor);
-    let out = up.conv2d(
-        binder.param("dec.conv.w"),
-        Some(binder.param("dec.conv.b")),
+    let up = ex.resize_bilinear(&ex.gelu(&img), h * cfg.scale_factor, w * cfg.scale_factor);
+    let out = ex.conv2d(
+        &up,
+        &ex.param("dec.conv.w"),
+        Some(&ex.param("dec.conv.b")),
         ConvGeom::same(3),
     );
     let (oh, ow) = (h * cfg.scale_factor, w * cfg.scale_factor);
-    out.reshape(vec![cfg.out_channels, oh, ow])
+    ex.reshape(&out, vec![cfg.out_channels, oh, ow])
 }
 
 /// The residual path: raw input `[C_in, h, w]` → conv → bilinear upsample →
 /// conv → `[C_out, H, W]` coarse approximation added to the ViT output.
-pub fn residual_path<'t>(binder: &Binder<'t, '_>, cfg: &ModelConfig, input: &Tensor) -> Var<'t> {
+pub fn residual_path<E: Exec>(ex: &E, cfg: &ModelConfig, input: &Tensor) -> E::Value {
     assert_eq!(input.ndim(), 3);
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     assert_eq!(c, cfg.in_channels);
-    let x = binder.constant(input.reshape(vec![1, c, h, w]));
-    let hid = x
-        .conv2d(
-            binder.param("res.conv1.w"),
-            Some(binder.param("res.conv1.b")),
-            ConvGeom::same(3),
-        )
-        .gelu();
-    let up = hid.resize_bilinear(h * cfg.scale_factor, w * cfg.scale_factor);
-    let out = up.conv2d(
-        binder.param("res.conv2.w"),
-        Some(binder.param("res.conv2.b")),
+    let x = ex.constant(input.reshape(vec![1, c, h, w]));
+    let hid = ex.gelu(&ex.conv2d(
+        &x,
+        &ex.param("res.conv1.w"),
+        Some(&ex.param("res.conv1.b")),
+        ConvGeom::same(3),
+    ));
+    let up = ex.resize_bilinear(&hid, h * cfg.scale_factor, w * cfg.scale_factor);
+    let out = ex.conv2d(
+        &up,
+        &ex.param("res.conv2.w"),
+        Some(&ex.param("res.conv2.b")),
         ConvGeom::same(3),
     );
-    out.reshape(vec![cfg.out_channels, h * cfg.scale_factor, w * cfg.scale_factor])
+    ex.reshape(&out, vec![cfg.out_channels, h * cfg.scale_factor, w * cfg.scale_factor])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binder::Binder;
     use orbit2_autograd::Tape;
     use orbit2_tensor::random::randn;
 
@@ -139,7 +147,7 @@ mod tests {
         let tape = Tape::new();
         let binder = Binder::new(&tape, &s);
         let tokens = tape.constant(randn(&[4 * 6, cfg.embed_dim], 2));
-        let img = decode(&binder, &cfg, tokens, 4, 6);
+        let img = decode(&binder, &cfg, &tokens, 4, 6);
         // hp=4, wp=6, patch=2, factor=4: output 32 x 48.
         assert_eq!(img.shape(), vec![3, 32, 48]);
         assert!(img.value().all_finite());
@@ -177,12 +185,14 @@ mod tests {
 
     #[test]
     fn permute_elements_roundtrip() {
+        let empty = ParamStore::new();
         let tape = Tape::new();
+        let binder = Binder::new(&tape, &empty);
         let x = tape.leaf(randn(&[3, 4], 6));
         let perm: Vec<usize> = (0..12).rev().collect();
-        let y = permute_elements(x, perm, vec![12]);
+        let y = permute_elements(&binder, &x, perm, vec![12]);
         let inv: Vec<usize> = (0..12).rev().collect();
-        let z = permute_elements(y, inv, vec![3, 4]);
+        let z = permute_elements(&binder, &y, inv, vec![3, 4]);
         z.value().assert_close(&x.value(), 0.0);
         // Gradients survive the double permutation.
         let grads = tape.backward(z.square().sum());
@@ -196,7 +206,7 @@ mod tests {
         let tape = Tape::new();
         let binder = Binder::new(&tape, &s);
         let tokens = tape.constant(randn(&[24, cfg.embed_dim], 7));
-        let loss = decode(&binder, &cfg, tokens, 4, 6).square().sum();
+        let loss = decode(&binder, &cfg, &tokens, 4, 6).square().sum();
         let grads = tape.backward(loss);
         let gm = binder.grad_map(&grads);
         assert!(gm["dec.proj.w"].data().iter().any(|&v| v != 0.0));

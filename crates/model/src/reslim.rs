@@ -7,13 +7,14 @@
 //! The prediction is the sum of both paths; no input upsampling ever enters
 //! the ViT, which is the whole efficiency argument of the architecture.
 
-use crate::binder::Binder;
 use crate::blocks::{cross_attention_aggregate, init_block_params, init_xattn_params, transformer_block};
 use crate::compress::{token_saliency, CompressionPlan};
 use crate::config::ModelConfig;
 use crate::embed::{init_embed_params, resolution_row, sincos_positions, tokenize};
+use crate::exec::Exec;
+use crate::infer::InferenceSession;
 use crate::paths::{decode, init_decoder_params, init_residual_params, residual_path};
-use orbit2_autograd::{ParamStore, Var};
+use orbit2_autograd::ParamStore;
 use orbit2_tensor::Tensor;
 
 /// A Reslim model: configuration plus named parameters.
@@ -43,54 +44,67 @@ impl ReslimModel {
         self.params.num_elements()
     }
 
+    /// Prepare a tape-free inference context over this model's weights:
+    /// weights snapshotted and linear packs built once, reusable across
+    /// samples and shareable across tile-worker threads.
+    pub fn session(&self) -> InferenceSession {
+        InferenceSession::prepare(&self.params)
+    }
+
     /// Forward pass on one `[C_in, h, w]` sample.
     ///
-    /// `compression_target` of 1.0 disables adaptive compression (the
-    /// module acts as identity). Returns the `[C_out, H, W]` prediction and
-    /// the compression plan actually used (for sequence-length accounting).
-    pub fn forward<'t>(
+    /// Generic over the execution context: a [`crate::Binder`] records the
+    /// pass on its tape for training; an [`InferenceSession`] runs the
+    /// identical kernels tape-free. `compression_target` of 1.0 disables
+    /// adaptive compression (the module acts as identity). Returns the
+    /// `[C_out, H, W]` prediction and the compression plan actually used
+    /// (for sequence-length accounting).
+    pub fn forward<E: Exec>(
         &self,
-        binder: &Binder<'t, '_>,
+        ex: &E,
         input: &Tensor,
         compression_target: f32,
-    ) -> (Var<'t>, CompressionPlan) {
+    ) -> (E::Value, CompressionPlan) {
         let cfg = &self.cfg;
         assert_eq!(input.ndim(), 3);
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (hp, wp) = (h / cfg.patch, w / cfg.patch);
 
         // Main path, step 1: tokenize each variable.
-        let tokens = tokenize(binder, cfg, input);
+        let tokens = tokenize(ex, cfg, input);
         // Step 2: collapse the variable axis via cross attention.
-        let mut agg = cross_attention_aggregate(binder, cfg, &tokens);
+        let mut agg = cross_attention_aggregate(ex, cfg, &tokens);
         // Step 4 structure decision happens on the *content* features
         // (before positional offsets, which would register as fake edges).
         let plan = if compression_target > 1.0 {
-            let saliency = token_saliency(&agg.value(), hp, wp);
+            let saliency = token_saliency(&ex.tensor(&agg), hp, wp);
             CompressionPlan::adaptive(&saliency, compression_target)
         } else {
             CompressionPlan::identity(hp, wp)
         };
         // Step 3: positional + resolution embeddings.
-        let pos = binder.constant(sincos_positions(hp, wp, cfg.embed_dim));
-        let res_row = binder
-            .param("embed.res")
-            .slice_axis(0, resolution_row(cfg.scale_factor), 1); // [1, D] broadcast
-        agg = agg.add(pos).add(res_row);
-        let mut z = plan.compress(agg);
+        let pos = ex.constant(sincos_positions(hp, wp, cfg.embed_dim));
+        let res_row = ex.slice_axis(
+            &ex.param("embed.res"),
+            0,
+            resolution_row(cfg.scale_factor),
+            1,
+        ); // [1, D] broadcast
+        agg = ex.add(&ex.add(&agg, &pos), &res_row);
+        let mut z = plan.compress(ex, &agg);
 
         // Step 5: ViT blocks on the (compressed) sequence.
         for l in 0..cfg.layers {
-            z = transformer_block(binder, cfg, &format!("blk{l}"), z);
+            z = transformer_block(ex, cfg, &format!("blk{l}"), &z);
         }
 
         // Step 6: decompress and decode to the high-resolution image.
-        let full = plan.decompress(z);
-        let main = decode(binder, cfg, full, hp, wp);
+        let full = plan.decompress(ex, &z);
+        let main = decode(ex, cfg, &full, hp, wp);
 
         // Residual path on the raw input; prediction is the sum.
-        let residual = residual_path(binder, cfg, input);
-        (main.add(residual), plan)
+        let residual = residual_path(ex, cfg, input);
+        (ex.add(&main, &residual), plan)
     }
 
     /// Effective ViT sequence length for an input of `h x w` pixels at the
@@ -104,6 +118,7 @@ impl ReslimModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binder::Binder;
     use orbit2_autograd::Tape;
     use orbit2_tensor::random::randn;
 

@@ -72,6 +72,55 @@ impl Activation {
     }
 }
 
+/// A linear-layer weight packed once into microkernel strips and kept
+/// resident across calls.
+///
+/// [`matmul_bias_act`] re-packs `W^T` on every invocation (the pack is
+/// shared across row blocks within one call, but not across calls). An
+/// inference session that replays the same weights thousands of times pays
+/// that pack cost exactly once by holding a `PackedWeight` per linear
+/// weight and passing it to [`matmul_bias_act_cached`].
+///
+/// The pack bytes are identical to what `matmul_bias_act` would produce
+/// internally, so routing through a resident pack is bit-identical to the
+/// per-call path. Storage is a plain `Vec` (copied out of the pooled
+/// buffer) so the pack is `Send + Sync` and shareable across worker
+/// threads without touching any thread-local pool.
+#[derive(Debug, Clone)]
+pub struct PackedWeight {
+    pack: Vec<f32>,
+    n: usize,
+    k: usize,
+}
+
+impl PackedWeight {
+    /// Pack a `[n, k]` weight for reuse. Returns `None` when packing can
+    /// never help: SIMD disabled, not 2-d, or too few output features for
+    /// the packed microkernel (`n < LANES`) — callers then fall back to the
+    /// unpacked GEMM, exactly as [`matmul_bias_act`] does.
+    pub fn pack(w: &Tensor) -> Option<Self> {
+        if !simd::enabled() || w.ndim() != 2 {
+            return None;
+        }
+        let (n, k) = (w.shape()[0], w.shape()[1]);
+        if n < LANES {
+            return None;
+        }
+        let pack = pack_b_full(w.data(), MatLayout::transposed(k), k, n).into_vec();
+        Some(PackedWeight { pack, n, k })
+    }
+
+    /// Pack size in elements (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.pack.len()
+    }
+
+    /// True when the pack holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.pack.is_empty()
+    }
+}
+
 /// Fused linear layer: `y = act(x W^T + bias)`.
 ///
 /// `x` is `[m, k]`, `w` is `[n, k]` (PyTorch `[out, in]` convention — packed
@@ -85,6 +134,35 @@ pub fn matmul_bias_act(
     bias: Option<&Tensor>,
     act: Activation,
 ) -> (Tensor, Option<Tensor>) {
+    matmul_bias_act_impl(x, w, None, bias, act, true)
+}
+
+/// Tape-free fused linear layer reusing a resident weight pack.
+///
+/// Same kernel as [`matmul_bias_act`] with two inference-only differences:
+/// the `W^T` pack is taken from `packed` instead of being rebuilt per call,
+/// and no pre-activation is stored (there is no backward pass to feed).
+/// `packed` must have been produced by [`PackedWeight::pack`] on this same
+/// `w`; pass `None` to pack per call (or run unpacked when ineligible).
+pub fn matmul_bias_act_cached(
+    x: &Tensor,
+    w: &Tensor,
+    packed: Option<&PackedWeight>,
+    bias: Option<&Tensor>,
+    act: Activation,
+) -> Tensor {
+    let (y, _) = matmul_bias_act_impl(x, w, packed, bias, act, false);
+    y
+}
+
+fn matmul_bias_act_impl(
+    x: &Tensor,
+    w: &Tensor,
+    resident: Option<&PackedWeight>,
+    bias: Option<&Tensor>,
+    act: Activation,
+    want_pre: bool,
+) -> (Tensor, Option<Tensor>) {
     assert_eq!(x.ndim(), 2, "matmul_bias_act input must be 2-d");
     assert_eq!(w.ndim(), 2, "matmul_bias_act weight must be 2-d");
     let (m, k) = (x.shape()[0], x.shape()[1]);
@@ -97,14 +175,29 @@ pub fn matmul_bias_act(
     let wd = w.data();
     let bd = bias.map(|b| b.data());
 
+    if let Some(pw) = resident {
+        assert_eq!((pw.n, pw.k), (n, k), "resident pack shape mismatch for w {:?}", w.shape());
+    }
     let mut out = pool::alloc_zeroed(m * n);
-    let mut pre = (act != Activation::Identity).then(|| pool::alloc_uninit(m * n));
+    let mut pre = (want_pre && act != Activation::Identity).then(|| pool::alloc_uninit(m * n));
 
     // W^T is packed into microkernel strips once and shared read-only by
     // every row block — without the hoist each block's GEMM call would
-    // re-pack all of B (`m / ROW_BLOCK` redundant packs).
+    // re-pack all of B (`m / ROW_BLOCK` redundant packs). A resident pack
+    // from a `PackedWeight` skips even that single per-call pack; the
+    // eligibility test is the same either way, so both routes take the
+    // identical GEMM branch for any given shape.
     let packed = packed_eligible(m, k, n);
-    let bpack = packed.then(|| pack_b_full(wd, MatLayout::transposed(k), k, n));
+    let owned = (packed && resident.is_none())
+        .then(|| pack_b_full(wd, MatLayout::transposed(k), k, n));
+    let bpack: Option<&[f32]> = if packed {
+        match resident {
+            Some(pw) => Some(&pw.pack),
+            None => owned.as_deref(),
+        }
+    } else {
+        None
+    };
 
     // One macro-block = a row-block GEMM followed immediately by its
     // epilogue, so bias/pre/activation touch the C block while it is hot.
@@ -336,6 +429,37 @@ mod tests {
             let pre = pre.expect("gelu epilogue stores pre-activation");
             let expect_pre = x.matmul(&w.transpose2()).add(&b.reshape(vec![1, n]));
             pre.assert_close(&expect_pre, 1e-4 * (k as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn cached_pack_bitwise_matches_per_call_pack() {
+        // Shapes straddling the packed-eligibility boundary: tiny (unpacked
+        // either way), medium and large (packed when SIMD is on).
+        for &(m, k, n) in &[(2usize, 3usize, 4usize), (8, 16, 12), (72, 64, 48), (73, 33, 17)] {
+            let x = randn(&[m, k], 41);
+            let w = randn(&[n, k], 42);
+            let b = randn(&[n], 43);
+            let packed = PackedWeight::pack(&w);
+            for act in [Activation::Identity, Activation::Gelu, Activation::Relu] {
+                let (y_ref, _) = matmul_bias_act(&x, &w, Some(&b), act);
+                let y_cached = matmul_bias_act_cached(&x, &w, packed.as_ref(), Some(&b), act);
+                assert_eq!(y_ref.data(), y_cached.data(), "m={m} k={k} n={n} {act:?}");
+                let y_uncached = matmul_bias_act_cached(&x, &w, None, Some(&b), act);
+                assert_eq!(y_ref.data(), y_uncached.data());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_weight_skips_ineligible_shapes() {
+        // n < LANES: the packed microkernel never runs for this weight.
+        let w = randn(&[4, 16], 44);
+        if crate::simd::enabled() {
+            assert!(PackedWeight::pack(&w).is_none());
+            assert!(PackedWeight::pack(&randn(&[16, 16], 45)).is_some());
+        } else {
+            assert!(PackedWeight::pack(&randn(&[16, 16], 45)).is_none());
         }
     }
 

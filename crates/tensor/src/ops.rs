@@ -423,6 +423,47 @@ impl Tensor {
         Tensor::from_vec(vec![rows, cols], out)
     }
 
+    /// Pool rows of a 2-d tensor into groups by averaging: `out[i] = mean of
+    /// self[j] for j in groups[i]`. This is the quad-tree token pooling of
+    /// Reslim's adaptive spatial compression; the autograd layer wraps it
+    /// with the uniform-scatter adjoint.
+    pub fn pool_rows(&self, groups: &[Vec<usize>]) -> Tensor {
+        assert_eq!(self.ndim(), 2, "pool_rows requires 2-d [tokens, dim]");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = pool::alloc_zeroed(groups.len() * cols);
+        let src = self.data();
+        for (gi, group) in groups.iter().enumerate() {
+            assert!(!group.is_empty(), "empty pooling group {gi}");
+            let inv = 1.0 / group.len() as f32;
+            let dst = &mut out[gi * cols..(gi + 1) * cols];
+            for &r in group {
+                assert!(r < rows, "pool index {r} out of bounds");
+                for (d, &x) in dst.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
+                    *d += x * inv;
+                }
+            }
+        }
+        Tensor::from_vec(vec![groups.len(), cols], out)
+    }
+
+    /// Unpool grouped rows back to the original token set: `out[j] = self[i]`
+    /// for every `j in groups[i]` (the inverse scatter of [`Tensor::pool_rows`]).
+    pub fn unpool_rows(&self, groups: &[Vec<usize>], total_rows: usize) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(self.shape()[0], groups.len());
+        let cols = self.shape()[1];
+        let mut out = pool::alloc_zeroed(total_rows * cols);
+        let src = self.data();
+        for (gi, group) in groups.iter().enumerate() {
+            let s = &src[gi * cols..(gi + 1) * cols];
+            for &r in group {
+                assert!(r < total_rows);
+                out[r * cols..(r + 1) * cols].copy_from_slice(s);
+            }
+        }
+        Tensor::from_vec(vec![total_rows, cols], out)
+    }
+
     /// Zero-pad the last two axes (interpreted as H, W) by the given margins.
     pub fn pad2d(&self, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
         let nd = self.ndim();

@@ -8,7 +8,7 @@
 //! cargo run --release --example global_inference
 //! ```
 
-use orbit2::inference::downscale;
+use orbit2::inference::downscale_with;
 use orbit2::trainer::{Trainer, TrainerConfig};
 use orbit2_climate::imerg::{observe_precipitation, ImergLikeParams};
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Split, VariableSet};
@@ -38,9 +38,13 @@ fn main() {
     let mut preds = Vec::new();
     let mut obs = Vec::new();
     let test_idx = dataset.indices(Split::Test);
+    // One tape-free session for the whole evaluation loop.
+    let session = trainer.model.session();
     for &i in &test_idx {
         let s = dataset.sample(i);
-        let pred = downscale(&trainer.model, &trainer.normalizer, &s.input, None, 1.0);
+        let pred =
+            downscale_with(&trainer.model, &session, &trainer.normalizer, &s.input, None, 1.0)
+                .expect("valid sample");
         preds.extend_from_slice(&pred.data()[chan * plane..(chan + 1) * plane]);
         // The satellite sees the same weather through a distorted sensor.
         obs.extend(observe_precipitation(dataset.world(), s.t, ImergLikeParams::default()));

@@ -51,7 +51,8 @@ fn main() {
         &test_idx,
         None,
         1.0,
-    );
+    )
+    .expect("valid test split");
     println!("\nheld-out metrics:");
     for r in &reports {
         println!(

@@ -59,7 +59,8 @@ fn main() {
         &test_idx,
         Some(TileSpec { tiles_y: 2, tiles_x: 2, halo: 2 }),
         1.0,
-    );
+    )
+    .expect("valid test split");
     println!("\nTable IV-style metrics (tiled inference):");
     for r in &reports {
         println!(

@@ -3,12 +3,15 @@
 # benches twice — with the thread-local buffer pool enabled (default) and
 # disabled (ORBIT2_DISABLE_POOL=1) — and append a summary record to
 # BENCH_kernels.json so pooled-vs-unpooled deltas are tracked over time.
+# Then run the inference bench (tape vs tape-free forward, whole-sample and
+# 2x2 tiled) and append its medians to BENCH_inference.json.
 #
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT_JSON="$REPO_ROOT/BENCH_kernels.json"
+INFER_JSON="$REPO_ROOT/BENCH_inference.json"
 BENCHES=(kernels flash_attention)
 
 run_benches() {
@@ -63,3 +66,35 @@ jq -r '
     | $f | keys[] | . as $n
     | "fused_vs_unfused_linear_gelu/\($n)\tfused \($f[$n]) ns\tunfused \($u[$n]) ns\tspeedup \(($u[$n] / $f[$n] * 100 | round) / 100)x"
 ' "$OUT_JSON"
+
+echo "== bench smoke: tape vs tape-free inference =="
+infer_log="$(cargo bench -p orbit2-bench --bench inference "$@" 2>&1)" || {
+    echo "bench inference failed:" >&2
+    echo "$infer_log" >&2
+    exit 1
+}
+infer_results="$(echo "$infer_log" | sed -n 's/^BENCH_JSON //p' | jq -s '.')"
+
+infer_record="$(jq -n \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg rev "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --argjson results "$infer_results" \
+    '{date: $date, rev: $rev, results: $results}')"
+
+if [[ -s "$INFER_JSON" ]]; then
+    jq --argjson rec "$infer_record" '. + [$rec]' "$INFER_JSON" > "$INFER_JSON.tmp"
+    mv "$INFER_JSON.tmp" "$INFER_JSON"
+else
+    jq -n --argjson rec "$infer_record" '[$rec]' > "$INFER_JSON"
+fi
+
+echo "appended inference record to $INFER_JSON"
+# Tape vs session medians per (path, model size): the forward-latency win
+# of skipping autograd bookkeeping and reusing session-resident GEMM packs.
+jq -r '
+    .[-1].results
+    | (map(select(.bench | test("/tape/"))) | map({(.bench | split("/") | "\(.[0])/\(.[2])"): .median_ns}) | add // {}) as $t
+    | (map(select(.bench | test("/session/"))) | map({(.bench | split("/") | "\(.[0])/\(.[2])"): .median_ns}) | add // {}) as $s
+    | $t | keys[] | . as $n
+    | "\($n)\ttape \($t[$n]) ns\tsession \($s[$n]) ns\tspeedup \(($t[$n] / $s[$n] * 100 | round) / 100)x"
+' "$INFER_JSON"

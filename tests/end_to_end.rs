@@ -20,7 +20,7 @@ fn training_improves_heldout_metrics() {
     // Untrained baseline scores.
     let untrained = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 5);
     let norm = orbit2_climate::Normalizer::fit(&ds, 4);
-    let before = evaluate_model(&untrained, &norm, &ds, &test_idx, None, 1.0);
+    let before = evaluate_model(&untrained, &norm, &ds, &test_idx, None, 1.0).unwrap();
 
     // Train the same architecture.
     let cfg = TrainerConfig { steps: 50, lr: 2e-3, warmup: 5, log_every: 10, ..Default::default() };
@@ -28,7 +28,7 @@ fn training_improves_heldout_metrics() {
     let report = trainer.train(&ds);
     assert!(report.final_loss.unwrap().is_finite());
     assert_eq!(report.completed_steps, 50);
-    let after = evaluate_model(&trainer.model, &trainer.normalizer, &ds, &test_idx, None, 1.0);
+    let after = evaluate_model(&trainer.model, &trainer.normalizer, &ds, &test_idx, None, 1.0).unwrap();
 
     // Training must improve R2 for the temperature channels.
     for (b, a) in before.iter().zip(&after) {
@@ -59,8 +59,10 @@ fn checkpoint_preserves_trained_behaviour() {
     let restored = load_model(&dir).unwrap();
 
     let s = ds.sample(0);
-    let a = orbit2::inference::downscale(&trainer.model, &trainer.normalizer, &s.input, None, 1.0);
-    let b = orbit2::inference::downscale(&restored, &trainer.normalizer, &s.input, None, 1.0);
+    let a = orbit2::inference::downscale(&trainer.model, &trainer.normalizer, &s.input, None, 1.0)
+        .unwrap();
+    let b =
+        orbit2::inference::downscale(&restored, &trainer.normalizer, &s.input, None, 1.0).unwrap();
     a.assert_close(&b, 0.0);
 }
 

@@ -77,7 +77,7 @@ fn inference_with_nan_input_does_not_panic() {
     let norm = orbit2_climate::Normalizer::fit(&ds, 2);
     let mut input = ds.sample(0).input;
     input.data_mut()[0] = f32::NAN;
-    let pred = orbit2::inference::downscale(&model, &norm, &input, None, 1.0);
+    let pred = orbit2::inference::downscale(&model, &norm, &input, None, 1.0).unwrap();
     assert_eq!(pred.shape(), ds.sample(0).target.shape());
 }
 
@@ -89,7 +89,7 @@ fn extreme_compression_target_still_partitions() {
     let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 5);
     let norm = orbit2_climate::Normalizer::fit(&ds, 2);
     let s = ds.sample(1);
-    let pred = orbit2::inference::downscale(&model, &norm, &s.input, None, 1000.0);
+    let pred = orbit2::inference::downscale(&model, &norm, &s.input, None, 1000.0).unwrap();
     assert_eq!(pred.shape(), s.target.shape());
     assert!(pred.all_finite());
 }
@@ -136,7 +136,7 @@ fn evaluate_on_single_sample_works() {
     let ds = dataset();
     let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 7);
     let norm = orbit2_climate::Normalizer::fit(&ds, 2);
-    let reports = orbit2::eval::evaluate_model(&model, &norm, &ds, &[19], None, 1.0);
+    let reports = orbit2::eval::evaluate_model(&model, &norm, &ds, &[19], None, 1.0).unwrap();
     assert_eq!(reports.len(), 3);
     for r in reports {
         assert!(r.report.rmse.is_finite());

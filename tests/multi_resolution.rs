@@ -66,7 +66,7 @@ fn one_model_predicts_both_grid_sizes() {
     let norm = orbit2_climate::Normalizer::fit(&corpus.members()[0], 4);
     for member in corpus.members() {
         let s = member.sample(0);
-        let pred = orbit2::inference::downscale(&model, &norm, &s.input, None, 1.0);
+        let pred = orbit2::inference::downscale(&model, &norm, &s.input, None, 1.0).unwrap();
         assert_eq!(pred.shape(), s.target.shape(), "grid {}x{}", member.fine_grid().h, member.fine_grid().w);
         assert!(pred.all_finite());
     }
