@@ -16,6 +16,9 @@
 //!   fault/skip vocabulary used by the trainer's elastic recovery;
 //! * [`checkpoint`] — model save/load plus crash-consistent full-state
 //!   trainer checkpoints (versioned, per-section CRC, atomic rename);
+//! * [`serving`] — wire types of the serving layer: requests, responses
+//!   and the typed [`ServeError`] vocabulary of the `orbit2-serve`
+//!   newline-delimited JSON protocol;
 //! * [`planner`] — the exascale run planner: drives the cluster simulator
 //!   and parallelism cost models to regenerate the paper's scaling results
 //!   (Tables II/III, Fig. 6) for configurations far beyond this machine.
@@ -26,6 +29,7 @@ pub mod eval;
 pub mod fault;
 pub mod inference;
 pub mod planner;
+pub mod serving;
 pub mod tiling;
 pub mod trainer;
 
@@ -37,4 +41,5 @@ pub use eval::{evaluate_model, VariableReport};
 pub use fault::{FaultAction, FaultEvent, FaultKind, FaultPlan, SkipReason};
 pub use inference::{downscale, downscale_with, validate_input, InferenceError};
 pub use planner::{max_sequence_row, strong_scaling_series, ScalingPoint, SeqLenRow};
+pub use serving::{RequestSource, ServeError, ServeRequest, ServeResponse, WireError};
 pub use trainer::{TrainReport, Trainer, TrainerConfig};

@@ -1,0 +1,313 @@
+//! Wire types of the serving layer: requests, responses, and the typed
+//! error vocabulary the `orbit2-serve` protocol speaks.
+//!
+//! These live in the core crate (not `orbit2-serve`) so that clients —
+//! benches, tests, external tools — can build requests and parse responses
+//! without depending on the server implementation. The wire format is
+//! newline-delimited JSON; [`ServeRequest`] implements a hand-written
+//! `Deserialize` so optional fields (`compression`, `variables`, `time`)
+//! default instead of erroring, which the derive shim cannot express.
+
+use crate::inference::InferenceError;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where the input field of a request comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestSource {
+    /// A named region of the server's world at a time index; the server
+    /// resolves it to a coarse input window. This is the cacheable form.
+    Region {
+        /// Region name, as configured on the server.
+        name: String,
+        /// Time (sample) index within the region's series.
+        time: usize,
+    },
+    /// An explicit inline input tensor (escape hatch for ad-hoc fields;
+    /// never cached, validated like any other model input).
+    Raw {
+        /// Tensor shape, expected `[C, h, w]`.
+        shape: Vec<usize>,
+        /// Row-major tensor data.
+        data: Vec<f32>,
+    },
+}
+
+/// One downscaling request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Client-chosen correlation id, echoed on the response line.
+    pub id: u64,
+    /// Input selector.
+    pub source: RequestSource,
+    /// Adaptive-compression target (1.0 = off).
+    pub compression: f32,
+    /// Output variables to return; `None` returns all model outputs.
+    pub variables: Option<Vec<String>>,
+}
+
+impl ServeRequest {
+    /// A region-sourced request with default knobs.
+    pub fn region(id: u64, name: impl Into<String>, time: usize) -> Self {
+        Self {
+            id,
+            source: RequestSource::Region { name: name.into(), time },
+            compression: 1.0,
+            variables: None,
+        }
+    }
+
+    /// A raw-tensor request with default knobs.
+    pub fn raw(id: u64, shape: Vec<usize>, data: Vec<f32>) -> Self {
+        Self { id, source: RequestSource::Raw { shape, data }, compression: 1.0, variables: None }
+    }
+}
+
+impl Serialize for ServeRequest {
+    fn serialize_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("id".into(), self.id.serialize_value());
+        match &self.source {
+            RequestSource::Region { name, time } => {
+                m.insert("region".into(), name.serialize_value());
+                m.insert("time".into(), time.serialize_value());
+            }
+            RequestSource::Raw { shape, data } => {
+                m.insert("shape".into(), shape.serialize_value());
+                m.insert("data".into(), data.serialize_value());
+            }
+        }
+        m.insert("compression".into(), self.compression.serialize_value());
+        if let Some(vars) = &self.variables {
+            m.insert("variables".into(), vars.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for ServeRequest {
+    fn deserialize_value(value: &Value) -> Result<Self, SerdeError> {
+        let obj = value.as_object().ok_or_else(|| SerdeError::new("request must be an object"))?;
+        let id = match obj.get("id") {
+            Some(v) => u64::deserialize_value(v)?,
+            None => return Err(SerdeError::new("request is missing `id`")),
+        };
+        let source = match (obj.get("region"), obj.get("shape"), obj.get("data")) {
+            (Some(r), None, None) => RequestSource::Region {
+                name: String::deserialize_value(r)?,
+                time: match obj.get("time") {
+                    Some(t) => usize::deserialize_value(t)?,
+                    None => 0,
+                },
+            },
+            (None, Some(s), Some(d)) => RequestSource::Raw {
+                shape: Vec::<usize>::deserialize_value(s)?,
+                data: Vec::<f32>::deserialize_value(d)?,
+            },
+            _ => {
+                return Err(SerdeError::new(
+                    "request needs either `region` or both `shape` and `data`",
+                ))
+            }
+        };
+        let compression = match obj.get("compression") {
+            Some(c) => f32::deserialize_value(c)?,
+            None => 1.0,
+        };
+        let variables = match obj.get("variables") {
+            Some(v) => Some(Vec::<String>::deserialize_value(v)?),
+            None => None,
+        };
+        Ok(Self { id, source, compression, variables })
+    }
+}
+
+/// A successful downscaling response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Shape of the prediction, `[C_out, H, W]` (selected variables only).
+    pub shape: Vec<usize>,
+    /// Row-major prediction data in physical units.
+    pub data: Vec<f32>,
+    /// Whether the response came from the LRU cache.
+    pub cached: bool,
+    /// Largest cross-request batch any of this request's tile jobs ran in
+    /// (1 = never batched with another request).
+    pub batch: usize,
+    /// Server-side latency in microseconds (admission to completion).
+    pub micros: u64,
+}
+
+/// The error half of a response line: `{"id": .., "error": {..}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable error kind (one of [`ServeError::kind`]).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Why the server rejected or failed a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request line was not valid JSON or missed required fields.
+    BadRequest {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The named region is not configured on this server.
+    UnknownRegion {
+        /// The offending region name.
+        region: String,
+    },
+    /// A requested output variable is not produced by the model.
+    UnknownVariable {
+        /// The offending variable name.
+        variable: String,
+    },
+    /// The compression target is below 1.0 (meaningless).
+    BadCompression {
+        /// The offending target.
+        got: f32,
+    },
+    /// The input failed model validation.
+    Rejected(InferenceError),
+    /// The server's admission queue is at capacity; retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable machine-readable kind string for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::UnknownRegion { .. } => "unknown_region",
+            ServeError::UnknownVariable { .. } => "unknown_variable",
+            ServeError::BadCompression { .. } => "bad_compression",
+            ServeError::Rejected(InferenceError::BadRank { .. }) => "invalid_rank",
+            ServeError::Rejected(InferenceError::ChannelMismatch { .. }) => "channel_mismatch",
+            ServeError::Rejected(InferenceError::NotPatchAligned { .. }) => "not_patch_aligned",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Convert to the wire representation.
+    pub fn to_wire(&self) -> WireError {
+        WireError { kind: self.kind().to_string(), message: self.to_string() }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::UnknownRegion { region } => write!(f, "unknown region {region:?}"),
+            ServeError::UnknownVariable { variable } => write!(f, "unknown variable {variable:?}"),
+            ServeError::BadCompression { got } => {
+                write!(f, "compression target must be >= 1.0, got {got}")
+            }
+            ServeError::Rejected(e) => write!(f, "input rejected: {e}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InferenceError> for ServeError {
+    fn from(e: InferenceError) -> Self {
+        ServeError::Rejected(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_region() {
+        let req = ServeRequest::region(7, "conus-west", 3);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: ServeRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_roundtrip_raw_with_knobs() {
+        let mut req = ServeRequest::raw(1, vec![1, 2, 2], vec![0.0, 1.0, 2.0, 3.0]);
+        req.compression = 2.0;
+        req.variables = Some(vec!["tmin".into()]);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: ServeRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let back: ServeRequest =
+            serde_json::from_str(r#"{"id": 4, "region": "conus"}"#).unwrap();
+        assert_eq!(back, ServeRequest::region(4, "conus", 0));
+    }
+
+    #[test]
+    fn request_without_source_is_an_error() {
+        assert!(serde_json::from_str::<ServeRequest>(r#"{"id": 1}"#).is_err());
+        assert!(serde_json::from_str::<ServeRequest>(r#"{"region": "x"}"#).is_err());
+        // `shape` without `data` is also incomplete.
+        assert!(serde_json::from_str::<ServeRequest>(r#"{"id": 1, "shape": [1]}"#).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = ServeResponse {
+            id: 9,
+            shape: vec![1, 2, 2],
+            data: vec![1.0, 2.0, 3.0, 4.0],
+            cached: true,
+            batch: 4,
+            micros: 1234,
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: ServeResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_error_kind_is_distinct_and_stable() {
+        let all = [
+            ServeError::BadRequest { reason: "x".into() },
+            ServeError::UnknownRegion { region: "x".into() },
+            ServeError::UnknownVariable { variable: "x".into() },
+            ServeError::BadCompression { got: 0.5 },
+            ServeError::Rejected(InferenceError::BadRank { ndim: 2 }),
+            ServeError::Rejected(InferenceError::ChannelMismatch { got: 1, expected: 2 }),
+            ServeError::Rejected(InferenceError::NotPatchAligned { h: 3, w: 3, patch: 2 }),
+            ServeError::QueueFull { capacity: 8 },
+            ServeError::ShuttingDown,
+        ];
+        let kinds: std::collections::BTreeSet<&str> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len(), "kinds must be unique");
+        let wire = all[4].to_wire();
+        assert_eq!(wire.kind, "invalid_rank");
+        assert!(wire.message.contains("rank-2"));
+    }
+}

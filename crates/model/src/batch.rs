@@ -1,0 +1,488 @@
+//! Cross-request batched inference: one forward pass over a stack of
+//! same-shaped tile inputs.
+//!
+//! The serving layer collects same-shaped tile jobs from different
+//! in-flight requests and hands them here as one batch. Every *row-wise*
+//! stage of the Reslim forward — the patch-embedding projection, the
+//! cross-attention variable aggregation, Q/K/V/output projections, layer
+//! norms, the MLP, and the decoder projection — runs as a single kernel
+//! call over the row-stacked token matrices, so B tiles share one GEMM
+//! against each weight instead of issuing B small ones. Stages whose math
+//! couples rows within a sample (attention scores, token pool/unpool
+//! bookkeeping, convolutions, bilinear resize) split the stack, run
+//! per-sample exactly as [`crate::ReslimModel::forward`] would, and
+//! re-stack.
+//!
+//! **Bit-identity contract**: for any batch, `forward_batch` produces the
+//! same bytes as B separate `model.forward(session, ..)` calls. Row-wise
+//! kernels compute each output row from its input row alone, so stacking
+//! cannot change values — *provided the stacked call takes the same kernel
+//! branch* as the per-sample calls. The one branch that depends on the row
+//! count is the packed-GEMM eligibility threshold
+//! ([`orbit2_tensor::matmul::packed_eligible`]); [`linear_stacked`] checks
+//! it for every linear layer and falls back to per-sample dispatch on a
+//! mismatch (only reachable for degenerately tiny shapes).
+//! `tests/serve_batching.rs` property-tests the contract.
+
+use crate::compress::{token_saliency, CompressionPlan};
+use crate::config::ModelConfig;
+use crate::embed::{patchify_plane, resolution_row, sincos_positions, unpatchify_permutation};
+use crate::exec::Exec;
+use crate::infer::InferenceSession;
+use crate::paths::path_hidden;
+use crate::reslim::ReslimModel;
+use orbit2_tensor::conv::ConvGeom;
+use orbit2_tensor::fused::Activation;
+use orbit2_tensor::matmul::packed_eligible;
+use orbit2_tensor::Tensor;
+
+/// A batch of per-sample token matrices stacked along the row axis.
+///
+/// `rows[i]` is the token count of sample `i` (samples may disagree after
+/// adaptive compression chose different plans); the stacked tensor is
+/// `[sum(rows), D]`.
+#[derive(Clone, Debug)]
+struct BatchStack {
+    stacked: Tensor,
+    rows: Vec<usize>,
+}
+
+impl BatchStack {
+    fn from_parts(parts: &[Tensor]) -> Self {
+        let rows = parts.iter().map(|p| p.shape()[0]).collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        BatchStack { stacked: Tensor::stack_rows(&refs), rows }
+    }
+
+    fn uniform(stacked: Tensor, rows: Vec<usize>) -> Self {
+        debug_assert_eq!(rows.iter().sum::<usize>(), stacked.shape()[0]);
+        BatchStack { stacked, rows }
+    }
+
+    fn parts(&self) -> Vec<Tensor> {
+        self.stacked.split_rows(&self.rows)
+    }
+
+    fn total_rows(&self) -> usize {
+        self.rows.iter().sum()
+    }
+
+    /// Row offset of sample `i` in the stacked matrix.
+    fn offset(&self, i: usize) -> usize {
+        self.rows[..i].iter().sum()
+    }
+}
+
+/// Fused linear over a row stack, through the session's resident weight
+/// pack. Issues ONE GEMM when every constituent sample would take the same
+/// packed/scalar branch as the stack (the realistic case); otherwise runs
+/// per-sample so the output stays bit-identical to unbatched execution.
+fn linear_stacked(
+    session: &InferenceSession,
+    x: &BatchStack,
+    w_name: &str,
+    b_name: Option<&str>,
+    act: Activation,
+) -> BatchStack {
+    let w = session.param(w_name);
+    let wshape = w.tensor().shape().to_vec();
+    let (n, k) = (wshape[0], wshape[1]);
+    let bias = b_name.map(|b| session.param(b));
+    let total = x.total_rows();
+    let branch_stable = x
+        .rows
+        .iter()
+        .all(|&r| packed_eligible(r, k, n) == packed_eligible(total, k, n));
+    if branch_stable {
+        let xv = session.constant(x.stacked.clone());
+        let y = session.linear_act(&xv, &w, bias.as_ref(), act);
+        BatchStack::uniform(y.into_tensor(), x.rows.clone())
+    } else {
+        let outs: Vec<Tensor> = x
+            .parts()
+            .into_iter()
+            .map(|p| {
+                let pv = session.constant(p);
+                session.linear_act(&pv, &w, bias.as_ref(), act).into_tensor()
+            })
+            .collect();
+        BatchStack::from_parts(&outs)
+    }
+}
+
+/// Layer norm + affine over a row stack (row-wise; always batchable).
+fn layer_norm_stacked(
+    session: &InferenceSession,
+    x: &BatchStack,
+    g_name: &str,
+    b_name: &str,
+) -> BatchStack {
+    let xv = session.constant(x.stacked.clone());
+    let y = session.layer_norm(&xv, &session.param(g_name), &session.param(b_name), 1e-5);
+    BatchStack::uniform(y.into_tensor(), x.rows.clone())
+}
+
+/// Batched mirror of [`crate::blocks::cross_attention_aggregate`]: every op
+/// in the variable aggregation is row-wise (the "attention" is a per-token
+/// softmax over the C variables), so the whole stage batches.
+fn xattn_stacked(
+    session: &InferenceSession,
+    cfg: &ModelConfig,
+    tokens: &[BatchStack],
+) -> BatchStack {
+    assert!(!tokens.is_empty());
+    let d = cfg.embed_dim;
+    let c = tokens.len();
+    let rows = tokens[0].rows.clone();
+    let mut sum = tokens[0].stacked.clone();
+    for t in &tokens[1..] {
+        sum = sum.add(&t.stacked);
+    }
+    let mean = BatchStack::uniform(sum.mul_scalar(1.0 / c as f32), rows.clone());
+    let q = linear_stacked(session, &mean, "xattn.wq", None, Activation::Identity);
+    let scale = 1.0 / (d as f32).sqrt();
+    let ones = Tensor::ones(vec![d, 1]);
+    let mut scores = Vec::with_capacity(c);
+    let mut values = Vec::with_capacity(c);
+    for t in tokens {
+        let k = linear_stacked(session, t, "xattn.wk", None, Activation::Identity);
+        values.push(linear_stacked(session, t, "xattn.wv", None, Activation::Identity));
+        // Row-wise dot q·k via the ones matvec: n = 1 < LANES, so the GEMM
+        // branch is row-count independent (never packed).
+        scores.push(q.stacked.mul(&k.stacked).matmul(&ones).mul_scalar(scale));
+    }
+    let score_refs: Vec<&Tensor> = scores.iter().collect();
+    let probs = Tensor::concat(&score_refs, 1).softmax_last(); // [R, C]
+    let mut out: Option<Tensor> = None;
+    for (ci, v) in values.iter().enumerate() {
+        let p = probs.slice_axis(1, ci, 1); // [R, 1] broadcasts over D
+        let term = p.mul(&v.stacked);
+        out = Some(match out {
+            Some(acc) => acc.add(&term),
+            None => term,
+        });
+    }
+    linear_stacked(
+        session,
+        &BatchStack::uniform(out.unwrap(), rows),
+        "xattn.wo",
+        Some("xattn.bo"),
+        Activation::Identity,
+    )
+}
+
+/// Batched mirror of [`crate::blocks::self_attention`]: projections batch,
+/// the score/softmax/value core runs per (head, sample) exactly as the
+/// unbatched forward does.
+fn self_attention_stacked(
+    session: &InferenceSession,
+    cfg: &ModelConfig,
+    prefix: &str,
+    x: &BatchStack,
+) -> BatchStack {
+    let dh = cfg.head_dim();
+    let q = linear_stacked(session, x, &format!("{prefix}.attn.wq"), None, Activation::Identity);
+    let k = linear_stacked(session, x, &format!("{prefix}.attn.wk"), None, Activation::Identity);
+    let v = linear_stacked(session, x, &format!("{prefix}.attn.wv"), None, Activation::Identity);
+    let scale = 1.0 / (dh as f32).sqrt();
+    let b = x.rows.len();
+    let mut heads = Vec::with_capacity(cfg.heads);
+    for h in 0..cfg.heads {
+        let qh = q.stacked.slice_axis(1, h * dh, dh);
+        let kh = k.stacked.slice_axis(1, h * dh, dh);
+        let vh = v.stacked.slice_axis(1, h * dh, dh);
+        let mut per_sample = Vec::with_capacity(b);
+        for i in 0..b {
+            let (o, r) = (x.offset(i), x.rows[i]);
+            let qi = qh.slice_axis(0, o, r);
+            let ki = kh.slice_axis(0, o, r);
+            let vi = vh.slice_axis(0, o, r);
+            let probs = qi.matmul_nt(&ki).mul_scalar(scale).softmax_last();
+            per_sample.push(probs.matmul(&vi));
+        }
+        let refs: Vec<&Tensor> = per_sample.iter().collect();
+        heads.push(Tensor::stack_rows(&refs));
+    }
+    let head_refs: Vec<&Tensor> = heads.iter().collect();
+    let concat = BatchStack::uniform(Tensor::concat(&head_refs, 1), x.rows.clone());
+    linear_stacked(
+        session,
+        &concat,
+        &format!("{prefix}.attn.wo"),
+        Some(&format!("{prefix}.attn.bo")),
+        Activation::Identity,
+    )
+}
+
+/// Batched pre-norm transformer block.
+fn transformer_block_stacked(
+    session: &InferenceSession,
+    cfg: &ModelConfig,
+    prefix: &str,
+    x: &BatchStack,
+) -> BatchStack {
+    let n1 = layer_norm_stacked(session, x, &format!("{prefix}.ln1.g"), &format!("{prefix}.ln1.b"));
+    let attn = self_attention_stacked(session, cfg, prefix, &n1);
+    let x = BatchStack::uniform(x.stacked.add(&attn.stacked), x.rows.clone());
+    let n2 = layer_norm_stacked(session, &x, &format!("{prefix}.ln2.g"), &format!("{prefix}.ln2.b"));
+    let h = linear_stacked(
+        session,
+        &n2,
+        &format!("{prefix}.mlp.w1"),
+        Some(&format!("{prefix}.mlp.b1")),
+        Activation::Gelu,
+    );
+    let m = linear_stacked(
+        session,
+        &h,
+        &format!("{prefix}.mlp.w2"),
+        Some(&format!("{prefix}.mlp.b2")),
+        Activation::Identity,
+    );
+    BatchStack::uniform(x.stacked.add(&m.stacked), x.rows)
+}
+
+/// Decode one sample's full token grid to the high-resolution image
+/// (per-sample mirror of [`crate::paths::decode`] minus the shared
+/// projection, which the caller batches).
+fn decode_tail(
+    session: &InferenceSession,
+    cfg: &ModelConfig,
+    projected: &Tensor,
+    hp: usize,
+    wp: usize,
+) -> Tensor {
+    let p = cfg.patch;
+    let (h, w) = (hp * p, wp * p);
+    let hidden = path_hidden(cfg);
+    let n: usize = projected.len();
+    let perm = unpatchify_permutation(hp, wp, p, hidden);
+    let img = projected
+        .reshape(vec![n, 1])
+        .gather_rows(&perm)
+        .reshape(vec![1, hidden, h, w]);
+    let up = session.resize_bilinear(
+        &session.constant(img.gelu()),
+        h * cfg.scale_factor,
+        w * cfg.scale_factor,
+    );
+    let out = session.conv2d(
+        &up,
+        &session.param("dec.conv.w"),
+        Some(&session.param("dec.conv.b")),
+        ConvGeom::same(3),
+    );
+    let (oh, ow) = (h * cfg.scale_factor, w * cfg.scale_factor);
+    out.into_tensor().into_reshape(vec![cfg.out_channels, oh, ow])
+}
+
+/// Per-sample residual path (convolutional; mirror of
+/// [`crate::paths::residual_path`]).
+fn residual_sample(session: &InferenceSession, cfg: &ModelConfig, input: &Tensor) -> Tensor {
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let x = session.constant(input.reshape(vec![1, c, h, w]));
+    let hid = session.gelu(&session.conv2d(
+        &x,
+        &session.param("res.conv1.w"),
+        Some(&session.param("res.conv1.b")),
+        ConvGeom::same(3),
+    ));
+    let up = session.resize_bilinear(&hid, h * cfg.scale_factor, w * cfg.scale_factor);
+    let out = session.conv2d(
+        &up,
+        &session.param("res.conv2.w"),
+        Some(&session.param("res.conv2.b")),
+        ConvGeom::same(3),
+    );
+    out.into_tensor()
+        .into_reshape(vec![cfg.out_channels, h * cfg.scale_factor, w * cfg.scale_factor])
+}
+
+/// Run the Reslim forward over a batch of same-shaped `[C_in, h, w]`
+/// inputs, sharing one GEMM per linear layer across the whole batch.
+///
+/// Returns per-sample `([C_out, H, W]` prediction, compression plan`)`
+/// pairs, bit-identical to calling
+/// [`ReslimModel::forward`]`(session, input, ..)` on each input alone.
+pub fn forward_batch(
+    model: &ReslimModel,
+    session: &InferenceSession,
+    inputs: &[&Tensor],
+    compression_target: f32,
+) -> Vec<(Tensor, CompressionPlan)> {
+    assert!(!inputs.is_empty(), "forward_batch of nothing");
+    let cfg = &model.cfg;
+    let shape0 = inputs[0].shape().to_vec();
+    for t in inputs {
+        assert_eq!(t.ndim(), 3, "inputs must be [C, h, w]");
+        assert_eq!(t.shape(), &shape0[..], "forward_batch requires same-shaped inputs");
+    }
+    let (c, h, w) = (shape0[0], shape0[1], shape0[2]);
+    assert_eq!(c, cfg.in_channels);
+    let (hp, wp) = (h / cfg.patch, w / cfg.patch);
+    let n_tok = hp * wp;
+    let b = inputs.len();
+
+    // Step 1: tokenize each variable, one batched patch-embedding GEMM per
+    // variable across all samples.
+    let tokens: Vec<BatchStack> = (0..c)
+        .map(|ci| {
+            let patches: Vec<Tensor> = inputs
+                .iter()
+                .map(|input| {
+                    let plane = input.slice_axis(0, ci, 1).into_reshape(vec![h, w]);
+                    patchify_plane(&plane, cfg.patch)
+                })
+                .collect();
+            let stack = BatchStack::from_parts(&patches);
+            let tok = linear_stacked(session, &stack, "embed.w", Some("embed.b"), Activation::Identity);
+            let ve = session
+                .param("embed.var")
+                .tensor()
+                .slice_axis(0, ci, 1); // [1, D] broadcasts over all rows
+            BatchStack::uniform(tok.stacked.add(&ve), tok.rows)
+        })
+        .collect();
+
+    // Step 2: collapse the variable axis (fully row-wise; fully batched).
+    let mut agg = xattn_stacked(session, cfg, &tokens);
+
+    // Structure decision per sample, on the content features.
+    let plans: Vec<CompressionPlan> = if compression_target > 1.0 {
+        (0..b)
+            .map(|i| {
+                let sal = token_saliency(&agg.stacked.slice_axis(0, agg.offset(i), n_tok), hp, wp);
+                CompressionPlan::adaptive(&sal, compression_target)
+            })
+            .collect()
+    } else {
+        (0..b).map(|_| CompressionPlan::identity(hp, wp)).collect()
+    };
+
+    // Step 3: positional + resolution embeddings (tiled across the batch).
+    let pos = sincos_positions(hp, wp, cfg.embed_dim);
+    let pos_refs: Vec<&Tensor> = (0..b).map(|_| &pos).collect();
+    let pos_stack = Tensor::stack_rows(&pos_refs);
+    let res_row = session
+        .param("embed.res")
+        .tensor()
+        .slice_axis(0, resolution_row(cfg.scale_factor), 1);
+    agg = BatchStack::uniform(agg.stacked.add(&pos_stack).add(&res_row), agg.rows);
+
+    // Step 4: compress — merge the per-sample group lists into one pooled
+    // call by offsetting token indices into the stack.
+    let mut merged_groups: Vec<Vec<usize>> = Vec::new();
+    let mut z_rows = Vec::with_capacity(b);
+    for (i, plan) in plans.iter().enumerate() {
+        let base = i * n_tok;
+        for g in &plan.groups {
+            merged_groups.push(g.iter().map(|&t| t + base).collect());
+        }
+        z_rows.push(plan.compressed_len());
+    }
+    let mut z = BatchStack::uniform(agg.stacked.pool_rows(&merged_groups), z_rows);
+
+    // Step 5: ViT blocks on the (compressed, ragged) stack.
+    for l in 0..cfg.layers {
+        z = transformer_block_stacked(session, cfg, &format!("blk{l}"), &z);
+    }
+
+    // Step 6: decompress back to the full grids and decode. The decoder
+    // projection is shared (batched); the image-space tail is per sample.
+    let full = BatchStack::uniform(
+        z.stacked.unpool_rows(&merged_groups, b * n_tok),
+        vec![n_tok; b],
+    );
+    let projected = linear_stacked(
+        session,
+        &full,
+        "dec.proj.w",
+        Some("dec.proj.b"),
+        Activation::Identity,
+    );
+    projected
+        .parts()
+        .into_iter()
+        .zip(inputs)
+        .zip(plans)
+        .map(|((proj, input), plan)| {
+            let main = decode_tail(session, cfg, &proj, hp, wp);
+            let residual = residual_sample(session, cfg, input);
+            (main.add(&residual), plan)
+        })
+        .collect()
+}
+
+impl ReslimModel {
+    /// Batched forward over same-shaped inputs: one GEMM per linear layer
+    /// for the whole batch, bit-identical to per-input [`Self::forward`]
+    /// calls on the same session. See [`forward_batch`].
+    pub fn forward_batch(
+        &self,
+        session: &InferenceSession,
+        inputs: &[&Tensor],
+        compression_target: f32,
+    ) -> Vec<(Tensor, CompressionPlan)> {
+        forward_batch(self, session, inputs, compression_target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orbit2_tensor::random::randn;
+
+    fn model() -> ReslimModel {
+        ReslimModel::new(ModelConfig::tiny().with_channels(4, 3), 17)
+    }
+
+    #[test]
+    fn batch_of_one_matches_forward() {
+        let m = model();
+        let session = m.session();
+        let input = randn(&[4, 8, 16], 1);
+        let (solo, _) = m.forward(&session, &input, 1.0);
+        let batch = forward_batch(&m, &session, &[&input], 1.0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].0.data(), solo.into_tensor().data());
+    }
+
+    #[test]
+    fn batch_matches_per_sample_bitwise() {
+        let m = model();
+        let session = m.session();
+        let inputs: Vec<Tensor> = (0..3).map(|i| randn(&[4, 8, 16], 100 + i)).collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let batch = forward_batch(&m, &session, &refs, 1.0);
+        for (input, (pred, _)) in inputs.iter().zip(&batch) {
+            let (solo, _) = m.forward(&session, input, 1.0);
+            assert_eq!(pred.data(), solo.into_tensor().data());
+        }
+    }
+
+    #[test]
+    fn batch_matches_under_adaptive_compression() {
+        // Different samples pick different plans (ragged compressed
+        // lengths) and the stack must still match per-sample execution.
+        let m = model();
+        let session = m.session();
+        let smooth = Tensor::full(vec![4, 16, 16], 0.25);
+        let noisy = randn(&[4, 16, 16], 9);
+        let batch = forward_batch(&m, &session, &[&smooth, &noisy], 2.0);
+        for (input, (pred, plan)) in [&smooth, &noisy].iter().zip(&batch) {
+            let (solo, solo_plan) = m.forward(&session, input, 2.0);
+            assert_eq!(pred.data(), solo.into_tensor().data());
+            assert_eq!(plan.compressed_len(), solo_plan.compressed_len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same-shaped")]
+    fn mixed_shapes_rejected() {
+        let m = model();
+        let session = m.session();
+        let a = randn(&[4, 8, 16], 1);
+        let b = randn(&[4, 8, 8], 2);
+        forward_batch(&m, &session, &[&a, &b], 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! orbit2-serve: a persistent inference server for the ORBIT-2
+//! reproduction.
+//!
+//! Training amortizes weight preparation across an epoch; ad-hoc
+//! inference pays it per call. This crate closes the gap for serving:
+//! a [`Server`] owns one model and one prepared
+//! [`InferenceSession`](orbit2_model::InferenceSession) for its whole
+//! lifetime, and turns a stream of independent requests into batched
+//! work on the shared session:
+//!
+//! - **Async submission** — [`Server::submit`] validates and enqueues,
+//!   returning a [`Handle`] the caller blocks on (or polls) at its
+//!   leisure; execution happens on the vendored rayon shim's persistent
+//!   worker registry via detached `rayon::spawn` jobs.
+//! - **Cross-request microbatching** — same-shaped tile jobs from
+//!   different in-flight requests are stacked along the row axis and run
+//!   as one forward (`orbit2_model::forward_batch`), which is
+//!   **bit-identical** to running them separately. A bounded microbatch
+//!   window trades a little latency for the stacking opportunity.
+//! - **Fair tile scheduling** — batches are filled round-robin across
+//!   requests, so a many-tile request cannot starve a small one.
+//! - **LRU response cache** — region-sourced requests are deterministic,
+//!   so finished responses are cached by
+//!   `(region, time, variables, compression, scale)` with hit/miss
+//!   counters exposed through [`Server::cache_stats`].
+//!
+//! The [`tcp`] module adds a newline-delimited-JSON front end over
+//! localhost TCP (see the `orbit2-serve` binary), with typed error
+//! replies carrying the stable `ServeError::kind` strings.
+//!
+//! ```no_run
+//! use orbit2_serve::{Server, ServerConfig, Region};
+//! use orbit2::serving::ServeRequest;
+//! # fn demo(model: orbit2_model::ReslimModel,
+//! #         normalizer: orbit2_climate::Normalizer,
+//! #         regions: Vec<Region>) {
+//! let server = Server::start(model, normalizer, regions, ServerConfig::default());
+//! let handle = server.submit(ServeRequest::region(1, "conus", 0));
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.shape.len(), 3);
+//! # }
+//! ```
+
+mod cache;
+mod oneshot;
+mod server;
+pub mod tcp;
+
+pub use cache::CacheStats;
+pub use oneshot::Handle;
+pub use server::{Region, Server, ServerConfig, ServerStats};
+pub use tcp::{serve, Client, ServerReply};

@@ -1,0 +1,175 @@
+//! The `orbit2-serve` binary: a newline-delimited-JSON downscaling server
+//! over localhost TCP.
+//!
+//! ```text
+//! orbit2-serve [--addr 127.0.0.1:7878] [--grid 32x64] [--samples 32]
+//!              [--tiles N] [--halo H] [--max-batch N] [--window-us N]
+//!              [--cache N] [--queue N] [--no-batching] [--seed N]
+//! ```
+//!
+//! The server hosts two synthetic regions, `conus` and `global`, over a
+//! Daymet-like variable set (7 inputs, 3 outputs) with a 4x refinement
+//! model. Try it:
+//!
+//! ```text
+//! printf '{"id":1,"region":"conus","time":0}\n' | nc 127.0.0.1 7878
+//! ```
+
+use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
+use orbit2_imaging::tiles::TileSpec;
+use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_serve::{Region, Server, ServerConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    grid: (usize, usize),
+    samples: usize,
+    tiles: usize,
+    halo: usize,
+    max_batch: usize,
+    window_micros: u64,
+    cache: usize,
+    queue: usize,
+    batching: bool,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            grid: (32, 64),
+            samples: 32,
+            tiles: 1,
+            halo: 2,
+            max_batch: 8,
+            window_micros: 2_000,
+            cache: 64,
+            queue: 256,
+            batching: true,
+            seed: 17,
+        }
+    }
+}
+
+const USAGE: &str = "usage: orbit2-serve [--addr HOST:PORT] [--grid HxW] [--samples N] \
+[--tiles N] [--halo H] [--max-batch N] [--window-us N] [--cache N] [--queue N] \
+[--no-batching] [--seed N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--grid" => {
+                let v = value("--grid")?;
+                let (h, w) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--grid wants HxW, got {v}"))?;
+                args.grid = (
+                    h.parse().map_err(|e| format!("--grid height: {e}"))?,
+                    w.parse().map_err(|e| format!("--grid width: {e}"))?,
+                );
+            }
+            "--samples" => args.samples = parse_num(&value("--samples")?, "--samples")?,
+            "--tiles" => args.tiles = parse_num(&value("--tiles")?, "--tiles")?,
+            "--halo" => args.halo = parse_num(&value("--halo")?, "--halo")?,
+            "--max-batch" => args.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?,
+            "--window-us" => {
+                args.window_micros = parse_num(&value("--window-us")?, "--window-us")? as u64
+            }
+            "--cache" => args.cache = parse_num(&value("--cache")?, "--cache")?,
+            "--queue" => args.queue = parse_num(&value("--queue")?, "--queue")?,
+            "--no-batching" => args.batching = false,
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(v: &str, name: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("{name}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let variables = VariableSet::daymet_like();
+    let factor = 4;
+    let cfg = ModelConfig::tiny().with_channels(variables.inputs.len(), variables.outputs.len());
+    let (h, w) = args.grid;
+    let conus = DownscalingDataset::new(
+        LatLonGrid::conus(h, w),
+        variables.clone(),
+        factor,
+        args.samples,
+        args.seed,
+    );
+    let global = DownscalingDataset::new(
+        LatLonGrid::global(h, w),
+        variables,
+        factor,
+        args.samples,
+        args.seed + 1,
+    );
+    let normalizer = Normalizer::fit(&conus, args.samples.clamp(1, 8));
+    let model = ReslimModel::new(cfg, args.seed + 2);
+
+    let server_cfg = ServerConfig {
+        tile: if args.tiles > 1 { Some(TileSpec::square(args.tiles, args.halo)) } else { None },
+        max_batch: args.max_batch,
+        window_micros: args.window_micros,
+        cache_capacity: args.cache,
+        queue_capacity: args.queue,
+        batching: args.batching,
+    };
+    let server = Arc::new(Server::start(
+        model,
+        normalizer,
+        vec![
+            Region { name: "conus".into(), dataset: conus },
+            Region { name: "global".into(), dataset: global },
+        ],
+        server_cfg,
+    ));
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr);
+    println!(
+        "orbit2-serve listening on {bound} (regions: conus, global; coarse grid {}x{}; \
+         batching {}; max_batch {}; window {}us; cache {})",
+        h / factor,
+        w / factor,
+        if args.batching { "on" } else { "off" },
+        args.max_batch,
+        args.window_micros,
+        args.cache,
+    );
+    if let Err(e) = orbit2_serve::serve(server, listener) {
+        eprintln!("listener error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-request completion: a write-once slot the submitting side can block
+//! on, built from `Mutex` + `Condvar` (the vendored runtime has no async
+//! channels, and none are needed — one value crosses one thread boundary
+//! exactly once per request).
+
+use orbit2::serving::{ServeError, ServeResponse};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A write-once result slot. The first [`Oneshot::complete`] wins; later
+/// calls are ignored, which is what makes shutdown racing a normal
+/// completion safe.
+pub(crate) struct Oneshot {
+    slot: Mutex<Option<Result<ServeResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Oneshot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self { slot: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    /// Fill the slot (first writer wins) and wake every waiter.
+    pub(crate) fn complete(&self, result: Result<ServeResponse, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// The caller's side of a submitted request: block on [`Handle::wait`] or
+/// poll with [`Handle::try_get`]. Cloneable so a response writer and a
+/// latency recorder can both observe the same completion.
+#[derive(Clone)]
+pub struct Handle {
+    id: u64,
+    slot: Arc<Oneshot>,
+}
+
+impl Handle {
+    pub(crate) fn new(id: u64, slot: Arc<Oneshot>) -> Self {
+        Self { id, slot }
+    }
+
+    /// A handle born completed with `err` (admission-time rejections).
+    pub(crate) fn failed(id: u64, err: ServeError) -> Self {
+        let slot = Oneshot::new();
+        slot.complete(Err(err));
+        Self { id, slot }
+    }
+
+    /// The request id this handle tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the request completes.
+    pub fn wait(&self) -> Result<ServeResponse, ServeError> {
+        let mut slot = self.slot.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.slot.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// Block up to `timeout`; `None` if the request is still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServeResponse, ServeError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.slot.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.slot.ready.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<Result<ServeResponse, ServeError>> {
+        self.slot.slot.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(id: u64) -> ServeResponse {
+        ServeResponse { id, shape: vec![1], data: vec![0.0], cached: false, batch: 1, micros: 0 }
+    }
+
+    #[test]
+    fn wait_sees_completion_from_another_thread() {
+        let slot = Oneshot::new();
+        let handle = Handle::new(3, Arc::clone(&slot));
+        assert!(handle.try_get().is_none());
+        let t = std::thread::spawn(move || slot.complete(Ok(resp(3))));
+        let got = handle.wait().unwrap();
+        assert_eq!(got.id, 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let slot = Oneshot::new();
+        let handle = Handle::new(1, Arc::clone(&slot));
+        slot.complete(Err(ServeError::ShuttingDown));
+        slot.complete(Ok(resp(1)));
+        assert_eq!(handle.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_delivers() {
+        let slot = Oneshot::new();
+        let handle = Handle::new(2, Arc::clone(&slot));
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_none());
+        slot.complete(Ok(resp(2)));
+        assert!(handle.wait_timeout(Duration::from_millis(10)).is_some());
+    }
+}

@@ -1,0 +1,648 @@
+//! The server core: admission, the tile-job queue, the microbatcher, and
+//! response assembly.
+//!
+//! One [`Server`] owns one model and one tape-free
+//! [`InferenceSession`](orbit2_model::InferenceSession) — weights and
+//! packed GEMM operands are prepared once and shared read-only by every
+//! worker that executes on its behalf. A submitted request is validated,
+//! resolved to a `[C, h, w]` input, normalized, and split into halo-padded
+//! tile jobs that land on a single submission queue. A dedicated batcher
+//! thread groups **same-shaped tile jobs across requests** into one
+//! stacked forward (`orbit2_model::forward_batch` — bit-identical to
+//! per-request execution), waiting at most a configurable microbatch
+//! window for the batch to fill. Batches are handed to the rayon shim's
+//! persistent worker registry via detached `rayon::spawn`, so grouping,
+//! execution, and request intake all overlap.
+//!
+//! Fairness: when more same-shaped jobs are queued than fit one batch, the
+//! batcher picks tiles **round-robin across requests** instead of FIFO —
+//! a 64-tile request cannot starve a 1-tile request that arrived just
+//! after it; the small request's tile rides the very next batch.
+
+use crate::cache::{CacheKey, CacheStats, CachedPayload, ResponseCache};
+use crate::oneshot::{Handle, Oneshot};
+use orbit2::inference::validate_input;
+use orbit2::serving::{RequestSource, ServeError, ServeRequest, ServeResponse};
+use orbit2::tiling::{split_stack, stitch_predictions};
+use orbit2_climate::{DownscalingDataset, Normalizer};
+use orbit2_imaging::tiles::{TileGeometry, TileSpec};
+use orbit2_model::{InferenceSession, ReslimModel};
+use orbit2_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving knobs. The defaults suit the CPU-scale models in this repo;
+/// every knob is exercised by tests or the serving bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How request inputs are split into tile jobs (`None` = whole-sample
+    /// jobs). Smaller tiles mean more cross-request batching opportunity.
+    pub tile: Option<TileSpec>,
+    /// Most tile jobs stacked into one forward.
+    pub max_batch: usize,
+    /// Longest the batcher waits for a batch to fill before dispatching a
+    /// partial one (the microbatch window).
+    pub window_micros: u64,
+    /// LRU response-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Most requests in flight before admission returns `QueueFull`.
+    pub queue_capacity: usize,
+    /// Cross-request batching on/off (off = every job runs alone; the
+    /// serving bench compares the two).
+    pub batching: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tile: None,
+            max_batch: 8,
+            window_micros: 2_000,
+            cache_capacity: 64,
+            queue_capacity: 256,
+            batching: true,
+        }
+    }
+}
+
+/// A named data region the server can resolve requests against.
+pub struct Region {
+    /// Region name used in requests.
+    pub name: String,
+    /// The region's (synthetic) data series.
+    pub dataset: DownscalingDataset,
+}
+
+/// Everything a tile job needs to find its way home.
+pub(crate) struct RequestState {
+    id: u64,
+    /// Admission order; the batcher round-robins over this.
+    pub(crate) seq: u64,
+    compression: f32,
+    in_h: usize,
+    in_w: usize,
+    remaining: AtomicUsize,
+    parts: Mutex<Vec<Option<(TileGeometry, Tensor)>>>,
+    max_batch_seen: AtomicUsize,
+    started: Instant,
+    done: Arc<Oneshot>,
+    cache_key: Option<CacheKey>,
+    var_sel: Option<Vec<usize>>,
+    /// In-flight accounting: decremented when the state drops, which is
+    /// exactly once per request no matter how it ends (success, shutdown,
+    /// or an execution failure with tiles still queued elsewhere).
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for RequestState {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What makes two tile jobs stackable: same spatial shape and the same
+/// compression target (a batched forward runs one plan search per sample
+/// but a single target). Channel count is fixed by the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JobKey {
+    h: usize,
+    w: usize,
+    compression_bits: u32,
+}
+
+/// One tile of one request, queued for execution.
+pub(crate) struct TileJob {
+    pub(crate) req: Arc<RequestState>,
+    tile_index: usize,
+    geom: TileGeometry,
+    input: Tensor,
+    pub(crate) key: JobKey,
+    enqueued: Instant,
+}
+
+/// Server throughput counters (monotonic since start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted past validation and the cache.
+    pub admitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Forward passes executed (batched or not).
+    pub batches: u64,
+    /// Tile jobs that ran in a batch of size >= 2.
+    pub batched_jobs: u64,
+}
+
+struct Inner {
+    model: ReslimModel,
+    session: InferenceSession,
+    normalizer: Normalizer,
+    regions: Vec<Region>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TileJob>>,
+    work_ready: Condvar,
+    cache: ResponseCache,
+    inflight: Arc<AtomicUsize>,
+    next_seq: AtomicU64,
+    shutdown: AtomicBool,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+}
+
+/// A persistent inference server. See the module docs for the lifecycle;
+/// see [`crate::tcp`] for the wire front end.
+pub struct Server {
+    inner: Arc<Inner>,
+    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start a server over `model` with `regions` as its request-resolvable
+    /// data. Spawns the batcher thread; the returned server is `Send + Sync`
+    /// and is usually wrapped in an `Arc` to share with connection threads.
+    pub fn start(
+        model: ReslimModel,
+        normalizer: Normalizer,
+        regions: Vec<Region>,
+        cfg: ServerConfig,
+    ) -> Self {
+        let session = model.session();
+        let inner = Arc::new(Inner {
+            model,
+            session,
+            normalizer,
+            regions,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            cache: ResponseCache::new(cfg.cache_capacity),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            next_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&inner);
+        let batcher = std::thread::Builder::new()
+            .name("orbit2-serve-batcher".into())
+            .spawn(move || batcher_loop(worker))
+            .expect("failed to spawn batcher thread");
+        Self { inner, batcher: Mutex::new(Some(batcher)) }
+    }
+
+    /// Submit a request. Always returns a handle; admission-time rejections
+    /// (unknown region, invalid input, full queue, ...) come back as an
+    /// already-completed handle carrying the typed error.
+    pub fn submit(&self, req: ServeRequest) -> Handle {
+        self.inner.submit(req)
+    }
+
+    /// Response-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Server throughput counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            batched_jobs: self.inner.batched_jobs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The model's refinement factor (output pixels per input pixel).
+    pub fn scale_factor(&self) -> usize {
+        self.inner.model.cfg.scale_factor
+    }
+
+    /// Stop admitting work and fail everything still queued with
+    /// [`ServeError::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+        if let Some(handle) = self.batcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Whether [`Server::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    pub(crate) fn submit(&self, req: ServeRequest) -> Handle {
+        let started = Instant::now();
+        let slot = Oneshot::new();
+        let handle = Handle::new(req.id, Arc::clone(&slot));
+        if let Err(e) = self.admit(req, started, &slot) {
+            slot.complete(Err(e));
+        }
+        handle
+    }
+
+    fn admit(
+        &self,
+        req: ServeRequest,
+        started: Instant,
+        slot: &Arc<Oneshot>,
+    ) -> Result<(), ServeError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if req.compression < 1.0 || !req.compression.is_finite() {
+            return Err(ServeError::BadCompression { got: req.compression });
+        }
+        let var_sel = match &req.variables {
+            None => None,
+            Some(names) => {
+                let vs = self.regions.first().map(|r| r.dataset.variables());
+                let mut sel = Vec::with_capacity(names.len());
+                for name in names {
+                    let idx = vs.and_then(|v| v.output_index(name)).ok_or_else(|| {
+                        ServeError::UnknownVariable { variable: name.clone() }
+                    })?;
+                    sel.push(idx);
+                }
+                Some(sel)
+            }
+        };
+        let (input, cache_key) = match &req.source {
+            RequestSource::Region { name, time } => {
+                let region = self
+                    .regions
+                    .iter()
+                    .find(|r| r.name == *name)
+                    .ok_or_else(|| ServeError::UnknownRegion { region: name.clone() })?;
+                let len = region.dataset.num_samples;
+                if *time >= len {
+                    return Err(ServeError::BadRequest {
+                        reason: format!("time {time} out of range (region {name} has {len} samples)"),
+                    });
+                }
+                let key = CacheKey {
+                    region: name.clone(),
+                    time: *time,
+                    variables: req.variables.clone().unwrap_or_default(),
+                    compression_bits: req.compression.to_bits(),
+                    scale: self.model.cfg.scale_factor,
+                };
+                (region.dataset.sample(*time).input, Some(key))
+            }
+            RequestSource::Raw { shape, data } => {
+                let elems: usize = shape.iter().product();
+                if elems != data.len() {
+                    return Err(ServeError::BadRequest {
+                        reason: format!(
+                            "shape {:?} holds {} elements but {} data values were sent",
+                            shape,
+                            elems,
+                            data.len()
+                        ),
+                    });
+                }
+                (Tensor::from_vec(shape.clone(), data.clone()), None)
+            }
+        };
+        validate_input(&self.model, &input)?;
+
+        if let Some(key) = &cache_key {
+            if let Some(hit) = self.cache.get(key) {
+                slot.complete(Ok(ServeResponse {
+                    id: req.id,
+                    shape: hit.shape,
+                    data: hit.data,
+                    cached: true,
+                    batch: 0,
+                    micros: started.elapsed().as_micros() as u64,
+                }));
+                return Ok(());
+            }
+        }
+
+        // Admission control: `inflight` is released by RequestState::drop.
+        if self.inflight.fetch_add(1, Ordering::SeqCst) >= self.cfg.queue_capacity {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::QueueFull { capacity: self.cfg.queue_capacity });
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let normalized = self.normalizer.normalize_input(&input);
+        let spec = self.cfg.tile.unwrap_or(TileSpec { tiles_y: 1, tiles_x: 1, halo: 0 });
+        let tiles = split_stack(&normalized, spec);
+        let state = Arc::new(RequestState {
+            id: req.id,
+            seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
+            compression: req.compression,
+            in_h: h,
+            in_w: w,
+            remaining: AtomicUsize::new(tiles.len()),
+            parts: Mutex::new(vec![None; tiles.len()]),
+            max_batch_seen: AtomicUsize::new(0),
+            started,
+            done: Arc::clone(slot),
+            cache_key,
+            var_sel,
+            inflight: Arc::clone(&self.inflight),
+        });
+        {
+            let mut queue = self.queue.lock().unwrap();
+            for (tile_index, (geom, tile_input)) in tiles.into_iter().enumerate() {
+                let key = JobKey {
+                    h: tile_input.shape()[1],
+                    w: tile_input.shape()[2],
+                    compression_bits: req.compression.to_bits(),
+                };
+                queue.push_back(TileJob {
+                    req: Arc::clone(&state),
+                    tile_index,
+                    geom,
+                    input: tile_input,
+                    key,
+                    enqueued: Instant::now(),
+                });
+            }
+        }
+        self.work_ready.notify_all();
+        Ok(())
+    }
+}
+
+/// The dispatcher/batcher loop: wait for work, give same-shaped jobs a
+/// microbatch window to accumulate, pick a fair batch, hand it to the
+/// worker registry, repeat.
+fn batcher_loop(inner: Arc<Inner>) {
+    loop {
+        let batch = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    for job in queue.drain(..) {
+                        job.req.done.complete(Err(ServeError::ShuttingDown));
+                    }
+                    return;
+                }
+                let Some(front) = queue.front() else {
+                    let (guard, _) = inner
+                        .work_ready
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap();
+                    queue = guard;
+                    continue;
+                };
+                let key = front.key.clone();
+                let age = front.enqueued.elapsed();
+                let window = Duration::from_micros(inner.cfg.window_micros);
+                let stackable = queue.iter().filter(|j| j.key == key).count();
+                if inner.cfg.batching && stackable < inner.cfg.max_batch && age < window {
+                    // Keep the window open: more same-shaped jobs may land.
+                    let (guard, _) = inner.work_ready.wait_timeout(queue, window - age).unwrap();
+                    queue = guard;
+                    continue;
+                }
+                let max = if inner.cfg.batching { inner.cfg.max_batch } else { 1 };
+                break collect_batch(&mut queue, max);
+            }
+        };
+        let worker = Arc::clone(&inner);
+        rayon::spawn(move || execute_batch(&worker, batch));
+    }
+}
+
+/// Pick up to `max_batch` jobs stackable with the front job, round-robin
+/// across requests (admission order) so no request monopolizes a batch.
+pub(crate) fn collect_batch(queue: &mut VecDeque<TileJob>, max_batch: usize) -> Vec<TileJob> {
+    let key = queue.front().expect("collect_batch on an empty queue").key.clone();
+    if max_batch <= 1 {
+        return vec![queue.pop_front().expect("checked nonempty")];
+    }
+    // Queue indices of stackable jobs, grouped per request in FIFO order.
+    let mut by_req: Vec<(u64, VecDeque<usize>)> = Vec::new();
+    for (i, job) in queue.iter().enumerate() {
+        if job.key == key {
+            match by_req.iter_mut().find(|(seq, _)| *seq == job.req.seq) {
+                Some((_, slots)) => slots.push_back(i),
+                None => by_req.push((job.req.seq, VecDeque::from([i]))),
+            }
+        }
+    }
+    by_req.sort_by_key(|(seq, _)| *seq);
+    let mut picked: Vec<usize> = Vec::new();
+    'fill: loop {
+        let mut progressed = false;
+        for (_, slots) in by_req.iter_mut() {
+            if picked.len() >= max_batch {
+                break 'fill;
+            }
+            if let Some(i) = slots.pop_front() {
+                picked.push(i);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    picked.sort_unstable();
+    let mut out = Vec::with_capacity(picked.len());
+    for &i in picked.iter().rev() {
+        out.push(queue.remove(i).expect("picked index in range"));
+    }
+    out.reverse();
+    out
+}
+
+fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
+    let n = jobs.len();
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    if n > 1 {
+        inner.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Vec<Tensor> {
+        if n > 1 {
+            let refs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
+            orbit2_model::forward_batch(&inner.model, &inner.session, &refs, jobs[0].req.compression)
+                .into_iter()
+                .map(|(pred, _)| pred)
+                .collect()
+        } else {
+            jobs.iter()
+                .map(|j| {
+                    inner.model.forward(&inner.session, &j.input, j.req.compression).0.into_tensor()
+                })
+                .collect()
+        }
+    }));
+    match forward {
+        Ok(preds) => {
+            for (job, pred) in jobs.into_iter().zip(preds) {
+                finish_tile(inner, job, pred, n);
+            }
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            for job in &jobs {
+                job.req.done.complete(Err(ServeError::BadRequest {
+                    reason: format!("execution failed: {msg}"),
+                }));
+            }
+        }
+    }
+}
+
+fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
+    let req = Arc::clone(&job.req);
+    req.max_batch_seen.fetch_max(batch_size, Ordering::SeqCst);
+    {
+        let mut parts = req.parts.lock().unwrap();
+        parts[job.tile_index] = Some((job.geom, pred));
+    }
+    if req.remaining.fetch_sub(1, Ordering::SeqCst) != 1 {
+        return;
+    }
+    // Last tile home: stitch, denormalize, select, cache, complete.
+    let tiles: Vec<(TileGeometry, Tensor)> = {
+        let parts = req.parts.lock().unwrap();
+        parts.iter().map(|p| p.clone().expect("all tiles recorded")).collect()
+    };
+    let factor = inner.model.cfg.scale_factor;
+    let stitched = stitch_predictions(&tiles, req.in_h, req.in_w, factor);
+    let physical = inner.normalizer.denormalize_target(&stitched);
+    let output = match &req.var_sel {
+        None => physical,
+        Some(sel) => {
+            let slices: Vec<Tensor> =
+                sel.iter().map(|&ci| physical.slice_axis(0, ci, 1)).collect();
+            let refs: Vec<&Tensor> = slices.iter().collect();
+            Tensor::concat(&refs, 0)
+        }
+    };
+    if let Some(key) = &req.cache_key {
+        inner.cache.put(
+            key.clone(),
+            CachedPayload { shape: output.shape().to_vec(), data: output.data().to_vec() },
+        );
+    }
+    inner.completed.fetch_add(1, Ordering::Relaxed);
+    req.done.complete(Ok(ServeResponse {
+        id: req.id,
+        shape: output.shape().to_vec(),
+        data: output.data().to_vec(),
+        cached: false,
+        batch: req.max_batch_seen.load(Ordering::SeqCst),
+        micros: req.started.elapsed().as_micros() as u64,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_state(seq: u64, tiles: usize, inflight: &Arc<AtomicUsize>) -> Arc<RequestState> {
+        inflight.fetch_add(1, Ordering::SeqCst);
+        Arc::new(RequestState {
+            id: seq,
+            seq,
+            compression: 1.0,
+            in_h: 4,
+            in_w: 4,
+            remaining: AtomicUsize::new(tiles),
+            parts: Mutex::new(vec![None; tiles]),
+            max_batch_seen: AtomicUsize::new(0),
+            started: Instant::now(),
+            done: Oneshot::new(),
+            cache_key: None,
+            var_sel: None,
+            inflight: Arc::clone(inflight),
+        })
+    }
+
+    fn job(req: &Arc<RequestState>, tile_index: usize, h: usize) -> TileJob {
+        TileJob {
+            req: Arc::clone(req),
+            tile_index,
+            geom: TileGeometry { ty: 0, tx: 0, core_y0: 0, core_x0: 0, core_h: h, core_w: h, halo: 0 },
+            input: Tensor::zeros(vec![1, h, h]),
+            key: JobKey { h, w: h, compression_bits: 1.0f32.to_bits() },
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn collect_batch_is_fair_across_requests() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let big = fake_state(0, 6, &inflight);
+        let small = fake_state(1, 1, &inflight);
+        let mut queue: VecDeque<TileJob> = VecDeque::new();
+        for i in 0..6 {
+            queue.push_back(job(&big, i, 4));
+        }
+        queue.push_back(job(&small, 0, 4));
+        let batch = collect_batch(&mut queue, 4);
+        assert_eq!(batch.len(), 4);
+        assert!(
+            batch.iter().any(|j| j.req.seq == 1),
+            "the late 1-tile request must ride the first batch, not wait behind 6 tiles"
+        );
+        // Round-robin: the big request still gets most slots.
+        assert_eq!(batch.iter().filter(|j| j.req.seq == 0).count(), 3);
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn collect_batch_only_stacks_matching_shapes() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let a = fake_state(0, 2, &inflight);
+        let b = fake_state(1, 1, &inflight);
+        let mut queue: VecDeque<TileJob> = VecDeque::new();
+        queue.push_back(job(&a, 0, 4));
+        queue.push_back(job(&b, 0, 8)); // different shape: not stackable
+        queue.push_back(job(&a, 1, 4));
+        let batch = collect_batch(&mut queue, 8);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|j| j.key.h == 4));
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.front().unwrap().key.h, 8);
+    }
+
+    #[test]
+    fn collect_batch_without_batching_takes_one_fifo() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let a = fake_state(0, 2, &inflight);
+        let mut queue: VecDeque<TileJob> = VecDeque::new();
+        queue.push_back(job(&a, 0, 4));
+        queue.push_back(job(&a, 1, 4));
+        let batch = collect_batch(&mut queue, 1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].tile_index, 0);
+    }
+
+    #[test]
+    fn request_state_drop_releases_inflight_slot() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let state = fake_state(0, 1, &inflight);
+        assert_eq!(inflight.load(Ordering::SeqCst), 1);
+        drop(state);
+        assert_eq!(inflight.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Newline-delimited JSON over localhost TCP.
+//!
+//! One request per line, one response per line. Each connection gets a
+//! reader thread (parses lines, submits to the server, forwards the
+//! resulting [`Handle`] to the writer) and a writer thread (waits on
+//! handles in submission order and writes the response lines). Splitting
+//! the two means a client can pipeline requests without waiting for
+//! earlier responses — and because every response echoes the request
+//! `id`, clients are free to correlate out of order.
+//!
+//! Success lines are a serialized [`ServeResponse`]; failures are
+//! `{"id": N, "error": {"kind": "...", "message": "..."}}` with `kind`
+//! one of the stable [`ServeError::kind`] strings.
+
+use crate::oneshot::Handle;
+use crate::server::Server;
+use orbit2::serving::{ServeError, ServeRequest, ServeResponse, WireError};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Render one finished request as a wire line (no trailing newline).
+pub fn response_line(id: u64, result: &Result<ServeResponse, ServeError>) -> String {
+    match result {
+        Ok(resp) => serde_json::to_string(resp).expect("response serializes"),
+        Err(err) => {
+            let mut obj = BTreeMap::new();
+            obj.insert("id".to_string(), Value::Number(id as f64));
+            obj.insert("error".to_string(), err.to_wire().serialize_value());
+            serde_json::to_string(&Value::Object(obj)).expect("error serializes")
+        }
+    }
+}
+
+/// A parsed server reply line.
+#[derive(Debug, Clone)]
+pub enum ServerReply {
+    /// A completed prediction.
+    Response(ServeResponse),
+    /// A typed failure for request `id`.
+    Error {
+        /// The request the failure belongs to (0 when unattributable).
+        id: u64,
+        /// The typed error payload.
+        error: WireError,
+    },
+}
+
+impl ServerReply {
+    /// Parse one wire line into a reply.
+    pub fn parse(line: &str) -> Result<Self, serde_json::Error> {
+        let value: Value = serde_json::from_str(line)?;
+        let obj = value.as_object().ok_or_else(|| serde::Error::new("reply is not an object"))?;
+        if let Some(err) = obj.get("error") {
+            let id = obj.get("id").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+            return Ok(ServerReply::Error { id, error: WireError::deserialize_value(err)? });
+        }
+        Ok(ServerReply::Response(ServeResponse::deserialize_value(&value)?))
+    }
+}
+
+/// Extract the request id from a line that may not parse as a full
+/// request, so even malformed-input errors can be attributed.
+fn best_effort_id(line: &str) -> u64 {
+    serde_json::from_str::<Value>(line)
+        .ok()
+        .and_then(|v| v.as_object().and_then(|o| o.get("id").and_then(Value::as_f64)))
+        .unwrap_or(0.0) as u64
+}
+
+fn handle_conn(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let (tx, rx) = mpsc::channel::<Handle>();
+    let writer_stream = stream;
+    let writer = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut out = writer_stream;
+        for handle in rx {
+            let result = handle.wait();
+            let line = response_line(handle.id(), &result);
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
+        }
+        Ok(())
+    });
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handle = match serde_json::from_str::<ServeRequest>(&line) {
+            Ok(req) => server.submit(req),
+            Err(e) => Handle::failed(
+                best_effort_id(&line),
+                ServeError::BadRequest { reason: e.to_string() },
+            ),
+        };
+        if tx.send(handle).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    writer.join().map_err(|_| std::io::Error::other("writer thread panicked"))?
+}
+
+/// Serve connections from `listener` until the process exits. Each
+/// connection runs on its own thread; the call itself never returns
+/// unless the listener errors.
+pub fn serve(server: Arc<Server>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        stream.set_nodelay(true).ok();
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = handle_conn(&server, stream);
+        });
+    }
+    Ok(())
+}
+
+/// A blocking line-protocol client for tests, the bench, and scripting.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// Send one request line (does not wait for the reply).
+    pub fn send(&mut self, req: &ServeRequest) -> std::io::Result<()> {
+        self.send_line(&serde_json::to_string(req).expect("request serializes"))
+    }
+
+    /// Send a raw line verbatim (for protocol-error tests).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read and parse the next reply line.
+    pub fn recv(&mut self) -> std::io::Result<ServerReply> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        ServerReply::parse(line.trim_end()).map_err(std::io::Error::other)
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn roundtrip(&mut self, req: &ServeRequest) -> std::io::Result<ServerReply> {
+        self.send(req)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_lines_round_trip() {
+        let resp = ServeResponse {
+            id: 9,
+            shape: vec![3, 2, 2],
+            data: vec![0.5; 12],
+            cached: true,
+            batch: 4,
+            micros: 1234,
+        };
+        let line = response_line(9, &Ok(resp.clone()));
+        match ServerReply::parse(&line).unwrap() {
+            ServerReply::Response(got) => assert_eq!(got, resp),
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_lines_round_trip_with_kind() {
+        let err = ServeError::UnknownRegion { region: "mars".into() };
+        let line = response_line(7, &Err(err));
+        match ServerReply::parse(&line).unwrap() {
+            ServerReply::Error { id, error } => {
+                assert_eq!(id, 7);
+                assert_eq!(error.kind, "unknown_region");
+                assert!(error.message.contains("mars"));
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+}

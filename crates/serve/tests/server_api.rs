@@ -1,0 +1,221 @@
+//! End-to-end library-API tests: served predictions must be bit-identical
+//! to direct `downscale_with` calls (cross-request microbatching included),
+//! and the response cache / admission control must behave observably.
+
+use orbit2::inference::downscale_with;
+use orbit2::serving::{ServeError, ServeRequest};
+use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
+use orbit2_imaging::tiles::TileSpec;
+use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_serve::{Region, Server, ServerConfig};
+use orbit2_tensor::Tensor;
+
+fn setup() -> (ReslimModel, Normalizer, DownscalingDataset) {
+    let ds =
+        DownscalingDataset::new(LatLonGrid::conus(16, 32), VariableSet::daymet_like(), 4, 10, 3);
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 2);
+    let norm = Normalizer::fit(&ds, 4);
+    (model, norm, ds)
+}
+
+fn start(cfg: ServerConfig) -> (Server, ReslimModel, Normalizer, DownscalingDataset) {
+    let (model, norm, ds) = setup();
+    // An identically-seeded twin of the served model for reference runs.
+    let (ref_model, ref_norm, ref_ds) = setup();
+    let server = Server::start(
+        model,
+        norm,
+        vec![Region { name: "conus".into(), dataset: ds }],
+        cfg,
+    );
+    (server, ref_model, ref_norm, ref_ds)
+}
+
+/// Batched serving must be bitwise-equal to direct inference: submit a
+/// burst of same-shaped raw requests (so they stack into one forward) and
+/// compare every payload against `downscale_with` on the same input.
+#[test]
+fn batched_serving_matches_downscale_with_bitwise() {
+    for &compression in &[1.0f32, 2.0] {
+        let cfg = ServerConfig {
+            max_batch: 4,
+            window_micros: 200_000, // generous: the whole burst lands in one window
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        };
+        let (server, model, norm, ds) = start(cfg);
+        let session = model.session();
+        let inputs: Vec<Tensor> = (0..4).map(|i| ds.sample(i).input).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let mut req =
+                    ServeRequest::raw(i as u64, input.shape().to_vec(), input.data().to_vec());
+                req.compression = compression;
+                server.submit(req)
+            })
+            .collect();
+        let mut max_batch = 0;
+        for (handle, input) in handles.iter().zip(&inputs) {
+            let resp = handle.wait().expect("request succeeds");
+            let reference =
+                downscale_with(&model, &session, &norm, input, None, compression).unwrap();
+            assert_eq!(resp.shape, reference.shape().to_vec());
+            assert_eq!(resp.data, reference.data(), "served != direct at compression {compression}");
+            assert!(!resp.cached);
+            max_batch = max_batch.max(resp.batch);
+        }
+        assert!(
+            max_batch >= 2,
+            "burst of 4 same-shaped requests never batched (max batch {max_batch})"
+        );
+        assert!(server.stats().batched_jobs >= 2);
+    }
+}
+
+/// Tiled serving goes through the same split/stitch as `downscale_with`
+/// with the same spec, so outputs stay bitwise-equal tile-by-tile.
+#[test]
+fn tiled_serving_matches_downscale_with() {
+    let spec = TileSpec::square(4, 1);
+    let cfg = ServerConfig {
+        tile: Some(spec),
+        max_batch: 8,
+        window_micros: 100_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let session = model.session();
+    let inputs: Vec<Tensor> = (0..2).map(|i| ds.sample(i).input).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            server.submit(ServeRequest::raw(i as u64, input.shape().to_vec(), input.data().to_vec()))
+        })
+        .collect();
+    for (handle, input) in handles.iter().zip(&inputs) {
+        let resp = handle.wait().expect("request succeeds");
+        let reference = downscale_with(&model, &session, &norm, input, Some(spec), 1.0).unwrap();
+        assert_eq!(resp.data, reference.data(), "tiled served != tiled direct");
+    }
+}
+
+/// Unbatched mode must produce the same bits as batched mode (which the
+/// bitwise guarantee implies, but this pins the `batching: false` path).
+#[test]
+fn unbatched_mode_matches_direct_too() {
+    let cfg = ServerConfig {
+        batching: false,
+        window_micros: 0,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let session = model.session();
+    let input = ds.sample(3).input;
+    let resp = server
+        .submit(ServeRequest::raw(1, input.shape().to_vec(), input.data().to_vec()))
+        .wait()
+        .unwrap();
+    let reference = downscale_with(&model, &session, &norm, &input, None, 1.0).unwrap();
+    assert_eq!(resp.data, reference.data());
+    assert_eq!(resp.batch, 1);
+}
+
+#[test]
+fn cache_serves_repeat_region_requests() {
+    let (server, _, _, _) = start(ServerConfig { cache_capacity: 8, ..ServerConfig::default() });
+    let cold = server.submit(ServeRequest::region(1, "conus", 2)).wait().unwrap();
+    assert!(!cold.cached);
+    let warm = server.submit(ServeRequest::region(2, "conus", 2)).wait().unwrap();
+    assert!(warm.cached, "second identical region request must hit the cache");
+    assert_eq!(warm.batch, 0, "cache hits never touch the model");
+    assert_eq!(warm.data, cold.data);
+    let stats = server.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.entries, 1);
+    // Different knobs are different cache keys.
+    let mut compressed = ServeRequest::region(3, "conus", 2);
+    compressed.compression = 2.0;
+    let other = server.submit(compressed).wait().unwrap();
+    assert!(!other.cached);
+    assert_eq!(server.cache_stats().misses, 2);
+}
+
+#[test]
+fn variable_selection_slices_outputs() {
+    let (server, model, norm, ds) = start(ServerConfig::default());
+    let session = model.session();
+    let mut req = ServeRequest::region(1, "conus", 0);
+    req.variables = Some(vec!["tmax".into()]);
+    let resp = server.submit(req).wait().unwrap();
+    assert_eq!(resp.shape[0], 1, "one selected variable, one output channel");
+    let full = downscale_with(&model, &session, &norm, &ds.sample(0).input, None, 1.0).unwrap();
+    let idx = ds.variables().output_index("tmax").unwrap();
+    assert_eq!(resp.data, full.slice_axis(0, idx, 1).data());
+}
+
+#[test]
+fn admission_errors_complete_immediately() {
+    let (server, _, _, ds) = start(ServerConfig { queue_capacity: 0, ..ServerConfig::default() });
+    // queue_capacity 0: every otherwise-valid request is turned away.
+    let input = ds.sample(0).input;
+    let err = server
+        .submit(ServeRequest::raw(1, input.shape().to_vec(), input.data().to_vec()))
+        .wait()
+        .unwrap_err();
+    assert_eq!(err, ServeError::QueueFull { capacity: 0 });
+    // The slot freed on rejection: the error repeats rather than compounds.
+    let err2 = server
+        .submit(ServeRequest::raw(2, input.shape().to_vec(), input.data().to_vec()))
+        .wait()
+        .unwrap_err();
+    assert_eq!(err2, ServeError::QueueFull { capacity: 0 });
+}
+
+#[test]
+fn shutdown_rejects_new_requests() {
+    let (server, _, _, _) = start(ServerConfig::default());
+    server.shutdown();
+    assert!(server.is_shutting_down());
+    let err = server.submit(ServeRequest::region(1, "conus", 0)).wait().unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+}
+
+#[test]
+fn bad_requests_get_typed_errors() {
+    let (server, _, _, _) = start(ServerConfig::default());
+    let err = server.submit(ServeRequest::region(1, "atlantis", 0)).wait().unwrap_err();
+    assert_eq!(err, ServeError::UnknownRegion { region: "atlantis".into() });
+
+    let err = server.submit(ServeRequest::region(2, "conus", 999)).wait().unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest { .. }), "time out of range: {err}");
+
+    let mut req = ServeRequest::region(3, "conus", 0);
+    req.compression = 0.5;
+    let err = server.submit(req).wait().unwrap_err();
+    assert_eq!(err, ServeError::BadCompression { got: 0.5 });
+
+    let mut req = ServeRequest::region(4, "conus", 0);
+    req.variables = Some(vec!["vorticity".into()]);
+    let err = server.submit(req).wait().unwrap_err();
+    assert_eq!(err, ServeError::UnknownVariable { variable: "vorticity".into() });
+
+    let err = server.submit(ServeRequest::raw(5, vec![2, 2], vec![0.0; 4])).wait().unwrap_err();
+    assert_eq!(err.kind(), "invalid_rank");
+
+    let err =
+        server.submit(ServeRequest::raw(6, vec![2, 4, 8], vec![0.0; 64])).wait().unwrap_err();
+    assert_eq!(err.kind(), "channel_mismatch");
+
+    let err =
+        server.submit(ServeRequest::raw(7, vec![7, 5, 8], vec![0.0; 280])).wait().unwrap_err();
+    assert_eq!(err.kind(), "not_patch_aligned");
+
+    let err = server.submit(ServeRequest::raw(8, vec![7, 4, 8], vec![0.0; 3])).wait().unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest { .. }), "shape/data mismatch: {err}");
+}

@@ -1,0 +1,133 @@
+//! Wire-protocol tests: every `ServeError` kind must surface as a typed
+//! error line over TCP, and well-formed requests must round-trip,
+//! pipeline, and hit the cache exactly as through the library API.
+
+use orbit2::serving::ServeRequest;
+use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
+use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_serve::{Client, Region, Server, ServerConfig, ServerReply};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn spawn_server(cfg: ServerConfig) -> (Arc<Server>, std::net::SocketAddr) {
+    let ds =
+        DownscalingDataset::new(LatLonGrid::conus(16, 32), VariableSet::daymet_like(), 4, 10, 3);
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 2);
+    let norm = Normalizer::fit(&ds, 4);
+    let server = Arc::new(Server::start(
+        model,
+        norm,
+        vec![Region { name: "conus".into(), dataset: ds }],
+        cfg,
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let accept = Arc::clone(&server);
+    std::thread::spawn(move || {
+        let _ = orbit2_serve::serve(accept, listener);
+    });
+    (server, addr)
+}
+
+fn expect_error(reply: ServerReply, want_id: u64, want_kind: &str) {
+    match reply {
+        ServerReply::Error { id, error } => {
+            assert_eq!(id, want_id, "error attributed to the wrong request");
+            assert_eq!(error.kind, want_kind, "unexpected kind: {}", error.message);
+            assert!(!error.message.is_empty());
+        }
+        ServerReply::Response(resp) => panic!("expected {want_kind}, got response {resp:?}"),
+    }
+}
+
+#[test]
+fn round_trip_and_pipelining() {
+    let (_server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // Pipeline three requests before reading any reply.
+    for id in 1..=3u64 {
+        client.send(&ServeRequest::region(id, "conus", id as usize)).unwrap();
+    }
+    for id in 1..=3u64 {
+        match client.recv().unwrap() {
+            ServerReply::Response(resp) => {
+                assert_eq!(resp.id, id, "replies come back in submission order");
+                assert_eq!(resp.shape, vec![3, 16, 32]);
+                assert_eq!(resp.data.len(), 3 * 16 * 32);
+                assert!(resp.data.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cache_visible_over_the_wire() {
+    let (server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.roundtrip(&ServeRequest::region(1, "conus", 5)).unwrap();
+    let second = client.roundtrip(&ServeRequest::region(2, "conus", 5)).unwrap();
+    match (first, second) {
+        (ServerReply::Response(a), ServerReply::Response(b)) => {
+            assert!(!a.cached);
+            assert!(b.cached);
+            assert_eq!(a.data, b.data);
+        }
+        other => panic!("expected two responses, got {other:?}"),
+    }
+    assert_eq!(server.cache_stats().hits, 1);
+}
+
+#[test]
+fn every_error_kind_surfaces_over_tcp() {
+    let (_server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Malformed JSON (id recoverable) -> bad_request.
+    client.send_line("{\"id\": 41, \"nonsense\": true}").unwrap();
+    expect_error(client.recv().unwrap(), 41, "bad_request");
+
+    // Unparseable line -> bad_request attributed to id 0.
+    client.send_line("this is not json").unwrap();
+    expect_error(client.recv().unwrap(), 0, "bad_request");
+
+    client.send(&ServeRequest::region(42, "atlantis", 0)).unwrap();
+    expect_error(client.recv().unwrap(), 42, "unknown_region");
+
+    let mut req = ServeRequest::region(43, "conus", 0);
+    req.variables = Some(vec!["vorticity".into()]);
+    client.send(&req).unwrap();
+    expect_error(client.recv().unwrap(), 43, "unknown_variable");
+
+    let mut req = ServeRequest::region(44, "conus", 0);
+    req.compression = 0.25;
+    client.send(&req).unwrap();
+    expect_error(client.recv().unwrap(), 44, "bad_compression");
+
+    client.send(&ServeRequest::raw(45, vec![4, 4], vec![0.0; 16])).unwrap();
+    expect_error(client.recv().unwrap(), 45, "invalid_rank");
+
+    client.send(&ServeRequest::raw(46, vec![2, 4, 8], vec![0.0; 64])).unwrap();
+    expect_error(client.recv().unwrap(), 46, "channel_mismatch");
+
+    client.send(&ServeRequest::raw(47, vec![7, 5, 8], vec![0.0; 280])).unwrap();
+    expect_error(client.recv().unwrap(), 47, "not_patch_aligned");
+
+    client.send(&ServeRequest::region(48, "conus", 10_000)).unwrap();
+    expect_error(client.recv().unwrap(), 48, "bad_request");
+}
+
+#[test]
+fn queue_full_and_shutdown_surface_over_tcp() {
+    let (server, addr) = spawn_server(ServerConfig {
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.send(&ServeRequest::region(50, "conus", 0)).unwrap();
+    expect_error(client.recv().unwrap(), 50, "queue_full");
+
+    server.shutdown();
+    client.send(&ServeRequest::region(51, "conus", 0)).unwrap();
+    expect_error(client.recv().unwrap(), 51, "shutting_down");
+}

@@ -452,6 +452,56 @@ mod tests {
     }
 
     #[test]
+    fn row_stacking_is_bitwise_invariant() {
+        // The microbatching contract: every kernel a batched forward runs
+        // over row-stacked inputs must compute each output row from its
+        // input row alone, so stacking two activations and running ONE
+        // kernel call equals the two separate calls, bit for bit. Rows per
+        // part deliberately straddle MR-panel and ROW_BLOCK boundaries.
+        let (k, n) = (48usize, 32usize);
+        let w = randn(&[n, k], 71);
+        let b = randn(&[n], 72);
+        let packed = PackedWeight::pack(&w);
+        for &(ra, rb) in &[(2usize, 3usize), (5, 9), (7, 70), (64, 128), (73, 7)] {
+            let xa = randn(&[ra, k], 73);
+            let xb = randn(&[rb, k], 74);
+            let stacked = Tensor::stack_rows(&[&xa, &xb]);
+            // Fused linear (the batched GEMM itself) — only when every part
+            // takes the same kernel branch as the stack, which is the
+            // precondition the microbatcher enforces before stacking.
+            let branch_stable = crate::matmul::packed_eligible(ra, k, n)
+                == crate::matmul::packed_eligible(ra + rb, k, n)
+                && crate::matmul::packed_eligible(rb, k, n)
+                    == crate::matmul::packed_eligible(ra + rb, k, n);
+            if branch_stable {
+                for act in [Activation::Identity, Activation::Gelu] {
+                    let ya = matmul_bias_act_cached(&xa, &w, packed.as_ref(), Some(&b), act);
+                    let yb = matmul_bias_act_cached(&xb, &w, packed.as_ref(), Some(&b), act);
+                    let ys = matmul_bias_act_cached(&stacked, &w, packed.as_ref(), Some(&b), act);
+                    let parts = ys.split_rows(&[ra, rb]);
+                    assert_eq!(parts[0].data(), ya.data(), "linear rows ({ra},{rb}) {act:?}");
+                    assert_eq!(parts[1].data(), yb.data(), "linear rows ({ra},{rb}) {act:?}");
+                }
+            }
+            // Layer norm.
+            let (na, _) = layer_norm_rows(xa.data(), ra, k, 1e-5);
+            let (nb, _) = layer_norm_rows(xb.data(), rb, k, 1e-5);
+            let (ns, _) = layer_norm_rows(stacked.data(), ra + rb, k, 1e-5);
+            assert_eq!(&ns[..ra * k], &na[..], "layer_norm rows ({ra},{rb})");
+            assert_eq!(&ns[ra * k..], &nb[..], "layer_norm rows ({ra},{rb})");
+            // Softmax.
+            let mut sa = xa.data().to_vec();
+            let mut sb = xb.data().to_vec();
+            let mut ss = stacked.data().to_vec();
+            softmax_rows(&mut sa, k);
+            softmax_rows(&mut sb, k);
+            softmax_rows(&mut ss, k);
+            assert_eq!(&ss[..ra * k], &sa[..], "softmax rows ({ra},{rb})");
+            assert_eq!(&ss[ra * k..], &sb[..], "softmax rows ({ra},{rb})");
+        }
+    }
+
+    #[test]
     fn packed_weight_skips_ineligible_shapes() {
         // n < LANES: the packed microkernel never runs for this weight.
         let w = randn(&[4, 16], 44);

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: compare the newest snapshot in each
+# BENCH_*.json against the previous one and fail when any benchmark's
+# median regressed by more than the tolerance.
+#
+# Snapshots are appended by scripts/bench_smoke.sh (one record per
+# revision; re-runs on the same revision replace the old record, so the
+# comparison is always newest-revision vs previous-revision). Files with
+# fewer than two snapshots are skipped — there is nothing to compare.
+#
+# Environment:
+#   ORBIT2_BENCH_TOLERANCE_PCT  allowed median regression in percent
+#                               (default 30). Raise it to wave through a
+#                               known, accepted slowdown — e.g.
+#                               `ORBIT2_BENCH_TOLERANCE_PCT=60 scripts/bench_check.sh`
+#                               after landing a deliberate tradeoff.
+#
+# Exit status: 0 = no regression beyond tolerance, 1 = regression found,
+# 2 = usage/environment error.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+TOLERANCE="${ORBIT2_BENCH_TOLERANCE_PCT:-30}"
+
+command -v jq >/dev/null || { echo "bench_check: jq not found" >&2; exit 2; }
+
+# Flatten one snapshot record into {bench, median_ns} rows. Kernel records
+# nest results under runs[] with a pool label; inference/serving records
+# hold a flat results[] list.
+FLATTEN='
+    if has("runs") then
+        .runs[] | .pool as $p | .results[] | {bench: "\($p)/\(.bench)", median_ns}
+    else
+        .results[] | {bench, median_ns}
+    end
+'
+
+status=0
+found_any=0
+for file in "$REPO_ROOT"/BENCH_*.json; do
+    [[ -e "$file" ]] || continue
+    found_any=1
+    count="$(jq 'length' "$file")"
+    if (( count < 2 )); then
+        echo "bench_check: $(basename "$file"): only $count snapshot(s), skipping"
+        continue
+    fi
+    report="$(jq -r --arg tol "$TOLERANCE" "
+        ([.[-2] | $FLATTEN] | map({(.bench): .median_ns}) | add) as \$prev
+        | [.[-1] | $FLATTEN]
+        | map(select(\$prev[.bench] != null and \$prev[.bench] > 0))
+        | map(. + {prev: \$prev[.bench], delta_pct: ((.median_ns / \$prev[.bench] - 1) * 100)})
+        | map(select(.delta_pct > (\$tol | tonumber)))
+        | .[]
+        | \"  \(.bench): \(.prev) ns -> \(.median_ns) ns (+\(.delta_pct | round)%)\"
+    " "$file")"
+    if [[ -n "$report" ]]; then
+        echo "bench_check: $(basename "$file"): medians regressed more than ${TOLERANCE}%:"
+        echo "$report"
+        status=1
+    else
+        echo "bench_check: $(basename "$file"): ok (newest vs previous within ${TOLERANCE}%)"
+    fi
+done
+
+if (( ! found_any )); then
+    echo "bench_check: no BENCH_*.json files found, nothing to compare"
+fi
+exit "$status"

@@ -4,7 +4,13 @@
 # disabled (ORBIT2_DISABLE_POOL=1) — and append a summary record to
 # BENCH_kernels.json so pooled-vs-unpooled deltas are tracked over time.
 # Then run the inference bench (tape vs tape-free forward, whole-sample and
-# 2x2 tiled) and append its medians to BENCH_inference.json.
+# 2x2 tiled) into BENCH_inference.json, and the serving bench (open-loop
+# load, microbatched vs unbatched) into BENCH_serving.json.
+#
+# Snapshots are deduped by revision: re-running on the same commit replaces
+# that commit's record instead of appending a duplicate, so each BENCH file
+# holds at most one snapshot per revision and scripts/bench_check.sh always
+# compares distinct revisions.
 #
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
 set -euo pipefail
@@ -12,7 +18,9 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT_JSON="$REPO_ROOT/BENCH_kernels.json"
 INFER_JSON="$REPO_ROOT/BENCH_inference.json"
+SERVE_JSON="$REPO_ROOT/BENCH_serving.json"
 BENCHES=(kernels flash_attention)
+REV="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 run_benches() {
     # Prints one BENCH_JSON payload per benchmark to stdout.
@@ -32,6 +40,19 @@ collect() {
     jq -s --arg pool "$1" '{pool: $pool, results: .}'
 }
 
+append_record() {
+    # $1 = target json file, $2 = record. Replaces any existing record for
+    # the same revision (re-entrancy: one snapshot per rev per file).
+    local file="$1" record="$2"
+    if [[ -s "$file" ]]; then
+        jq --argjson rec "$record" --arg rev "$REV" \
+            'map(select(.rev != $rev)) + [$rec]' "$file" > "$file.tmp"
+        mv "$file.tmp" "$file"
+    else
+        jq -n --argjson rec "$record" '[$rec]' > "$file"
+    fi
+}
+
 cd "$REPO_ROOT"
 
 echo "== bench smoke: pool enabled =="
@@ -42,17 +63,11 @@ unpooled="$(ORBIT2_DISABLE_POOL=1 run_benches "$@" | collect disabled)"
 
 record="$(jq -n \
     --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    --arg rev "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --arg rev "$REV" \
     --argjson pooled "$pooled" \
     --argjson unpooled "$unpooled" \
     '{date: $date, rev: $rev, runs: [$pooled, $unpooled]}')"
-
-if [[ -s "$OUT_JSON" ]]; then
-    jq --argjson rec "$record" '. + [$rec]' "$OUT_JSON" > "$OUT_JSON.tmp"
-    mv "$OUT_JSON.tmp" "$OUT_JSON"
-else
-    jq -n --argjson rec "$record" '[$rec]' > "$OUT_JSON"
-fi
+append_record "$OUT_JSON" "$record"
 
 echo "appended bench record to $OUT_JSON"
 jq -r '.[-1].runs[] | .pool as $p | .results[] | "\($p)\t\(.bench)\t\(.median_ns) ns"' "$OUT_JSON"
@@ -77,16 +92,10 @@ infer_results="$(echo "$infer_log" | sed -n 's/^BENCH_JSON //p' | jq -s '.')"
 
 infer_record="$(jq -n \
     --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    --arg rev "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --arg rev "$REV" \
     --argjson results "$infer_results" \
     '{date: $date, rev: $rev, results: $results}')"
-
-if [[ -s "$INFER_JSON" ]]; then
-    jq --argjson rec "$infer_record" '. + [$rec]' "$INFER_JSON" > "$INFER_JSON.tmp"
-    mv "$INFER_JSON.tmp" "$INFER_JSON"
-else
-    jq -n --argjson rec "$infer_record" '[$rec]' > "$INFER_JSON"
-fi
+append_record "$INFER_JSON" "$infer_record"
 
 echo "appended inference record to $INFER_JSON"
 # Tape vs session medians per (path, model size): the forward-latency win
@@ -98,3 +107,29 @@ jq -r '
     | $t | keys[] | . as $n
     | "\($n)\ttape \($t[$n]) ns\tsession \($s[$n]) ns\tspeedup \(($t[$n] / $s[$n] * 100 | round) / 100)x"
 ' "$INFER_JSON"
+
+echo "== bench smoke: serving (microbatched vs unbatched open-loop load) =="
+serve_log="$(cargo bench -p orbit2-bench --bench serving "$@" 2>&1)" || {
+    echo "bench serving failed:" >&2
+    echo "$serve_log" >&2
+    exit 1
+}
+serve_results="$(echo "$serve_log" | sed -n 's/^BENCH_JSON //p' | jq -s '.')"
+
+serve_record="$(jq -n \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg rev "$REV" \
+    --argjson results "$serve_results" \
+    '{date: $date, rev: $rev, results: $results}')"
+append_record "$SERVE_JSON" "$serve_record"
+
+echo "appended serving record to $SERVE_JSON"
+# Batched-vs-unbatched throughput per concurrency level: the cross-request
+# microbatching win under load (and its latency cost at low concurrency).
+jq -r '
+    .[-1].results
+    | (map(select(.bench | test("/batched/"))) | map({(.bench | split("/")[2]): .}) | add // {}) as $b
+    | (map(select(.bench | test("/unbatched/"))) | map({(.bench | split("/")[2]): .}) | add // {}) as $u
+    | $b | keys[] | . as $c
+    | "serving/\($c)\tbatched \($b[$c].rps) req/s (p99 \($b[$c].p99_us) us)\tunbatched \($u[$c].rps) req/s (p99 \($u[$c].p99_us) us)\tspeedup \(($b[$c].rps / $u[$c].rps * 100 | round) / 100)x"
+' "$SERVE_JSON"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# The CI pipeline, runnable as one local command. Everything is offline:
+# external dependencies resolve to the vendored shims under vendor/, so no
+# network access is required at any step.
+#
+# Stages (all blocking unless noted):
+#   1. release build of the whole workspace
+#   2. full test suite with the packed-SIMD kernels enabled (default)
+#   3. full test suite again with ORBIT2_DISABLE_SIMD=1 (scalar fallbacks)
+#   4. clippy lint gate (scripts/lint.sh: -D warnings -D unsafe_code)
+#   5. chaos suite (scripts/chaos_smoke.sh: fault injection + recovery,
+#      both SIMD modes)
+#   6. bench regression check (scripts/bench_check.sh) — NON-BLOCKING by
+#      default: benchmark medians on shared CI hardware are noisy, so a
+#      >30% regression prints a prominent warning instead of failing the
+#      pipeline. Opt into hard failure with ORBIT2_BENCH_CHECK_STRICT=1;
+#      widen the tolerance with ORBIT2_BENCH_TOLERANCE_PCT=<pct>
+#      (see scripts/bench_check.sh).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+step() {
+    echo
+    echo "=== ci: $* ==="
+}
+
+step "release build"
+cargo build --release
+
+step "tests (SIMD enabled)"
+cargo test -q --workspace
+
+step "tests (SIMD disabled: ORBIT2_DISABLE_SIMD=1)"
+ORBIT2_DISABLE_SIMD=1 cargo test -q --workspace
+
+step "lint"
+scripts/lint.sh
+
+step "chaos suite"
+scripts/chaos_smoke.sh
+
+step "bench regression check (non-blocking unless ORBIT2_BENCH_CHECK_STRICT=1)"
+if scripts/bench_check.sh; then
+    :
+elif [[ "${ORBIT2_BENCH_CHECK_STRICT:-0}" == "1" ]]; then
+    echo "ci: bench regression check FAILED (strict mode)" >&2
+    exit 1
+else
+    echo
+    echo "ci: WARNING: bench medians regressed beyond tolerance (see above)." >&2
+    echo "ci: non-blocking by default; set ORBIT2_BENCH_CHECK_STRICT=1 to enforce," >&2
+    echo "ci: or ORBIT2_BENCH_TOLERANCE_PCT=<pct> to accept a deliberate slowdown." >&2
+fi
+
+echo
+echo "ci: all stages passed"

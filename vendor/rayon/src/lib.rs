@@ -139,6 +139,24 @@ fn worker_loop(reg: &'static Registry) {
     }
 }
 
+/// Submit a detached job to the persistent worker registry (fire and
+/// forget). Unlike the scoped batches [`run_jobs`] drives, the closure owns
+/// its data (`'static` bound, no lifetime erasure) and no caller blocks on
+/// it: the serving layer uses this to execute microbatches concurrently
+/// with request intake. A panic inside the job is caught and swallowed —
+/// a detached job has no caller frame to re-panic in, and poisoning the
+/// worker would starve every later parallel call.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) {
+    let reg = registry();
+    {
+        let mut pending = reg.jobs.lock().unwrap();
+        pending.push_back(Box::new(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        }));
+    }
+    reg.ready.notify_one();
+}
+
 /// Execute a batch of jobs on the registry and block until all complete.
 /// Runs inline when there is nothing to parallelise or when already on a
 /// worker thread. Panics in any job re-panic here after the batch drains.
@@ -823,6 +841,28 @@ mod tests {
             });
         });
         assert!(result.is_err(), "a panicking piece must fail the parallel call");
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let done = Arc::new(Latch::default());
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            spawn(move || done.complete());
+        }
+        done.wait(16);
+    }
+
+    #[test]
+    fn spawn_survives_panicking_job() {
+        let done = Arc::new(Latch::default());
+        spawn(|| panic!("detached boom"));
+        let d = Arc::clone(&done);
+        spawn(move || d.complete());
+        done.wait(1);
+        // The registry still serves scoped work afterwards.
+        let s: usize = (0..100usize).into_par_iter().sum();
+        assert_eq!(s, 4950);
     }
 
     #[test]
