@@ -14,7 +14,7 @@ use orbit2_autograd::Tape;
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_imaging::tiles::{TileGeometry, TileSpec};
 use orbit2_model::binder::Binder;
-use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_model::{ModelConfig, ReslimModel, SessionPrecision};
 use orbit2_tensor::random::randn;
 use orbit2_tensor::Tensor;
 use rayon::prelude::*;
@@ -36,6 +36,16 @@ fn bench_forward(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("session", name), &input, |b, input| {
             b.iter(|| model.forward(&session, input, 1.0).0.into_tensor())
         });
+        // Reduced-precision sessions: same tape-free forward, weights held
+        // at bf16/int8 (f32 activations and accumulate) — the per-forward
+        // win of halved/quartered weight-stream bytes.
+        for precision in [SessionPrecision::Bf16, SessionPrecision::Int8] {
+            let reduced = model.session_at(precision);
+            let label = format!("session_{}", precision.label());
+            group.bench_with_input(BenchmarkId::new(label, name), &input, |b, input| {
+                b.iter(|| model.forward(&reduced, input, 1.0).0.into_tensor())
+            });
+        }
     }
     group.finish();
 }

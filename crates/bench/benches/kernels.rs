@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
 use orbit2_tensor::bf16::bf16_round_slice;
 use orbit2_tensor::conv::{conv2d, ConvGeom};
-use orbit2_tensor::fused::{layer_norm_rows, matmul_bias_act, softmax_rows, Activation};
+use orbit2_tensor::fused::{
+    layer_norm_rows, matmul_bias_act, matmul_bias_act_cached, softmax_rows, Activation,
+    PackedWeight, WeightPrecision,
+};
 use orbit2_tensor::random::randn;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -25,6 +28,42 @@ fn bench_matmul(c: &mut Criterion) {
 /// Fused linear+GELU epilogue vs the unfused GEMM → bias → GELU chain:
 /// the BENCH_kernels.json pair `fused_linear_gelu/N` vs
 /// `unfused_linear_gelu/N` records the epilogue-fusion win.
+/// The reduced-precision packed GEMM at each storage format, via the same
+/// session-resident cached path inference uses: weights packed once up
+/// front (f32 / bf16 / int8 strips), activations f32, f32 accumulate.
+/// `BENCH_kernels.json` rows `gemm_f32/N`, `gemm_bf16/N`, `gemm_i8/N`
+/// record the per-precision throughput the serving `--precision` flag buys.
+fn bench_packed_gemm(c: &mut Criterion) {
+    for precision in [WeightPrecision::F32, WeightPrecision::Bf16, WeightPrecision::Int8] {
+        let mut group = c.benchmark_group(format!("gemm_{}", precision.label()));
+        group.sample_size(10);
+        for &n in &[256usize, 512] {
+            let x = randn(&[n, n], 31);
+            let w = randn(&[n, n], 32);
+            let b = randn(&[n], 33);
+            let pack = PackedWeight::pack_at(&w, precision);
+            // Mirror InferenceSession: the resident tensor is the pack's
+            // dequantized snapshot so fallback paths agree with the kernel.
+            let resident = pack
+                .as_ref()
+                .and_then(PackedWeight::dequantized)
+                .unwrap_or_else(|| w.clone());
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+                bench.iter(|| {
+                    matmul_bias_act_cached(
+                        &x,
+                        &resident,
+                        pack.as_ref(),
+                        Some(&b),
+                        Activation::Identity,
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_fused_linear(c: &mut Criterion) {
     let mut group = c.benchmark_group("fused_linear_gelu");
     group.sample_size(10);
@@ -154,6 +193,7 @@ fn bench_synth(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_packed_gemm,
     bench_fused_linear,
     bench_layer_norm,
     bench_softmax,

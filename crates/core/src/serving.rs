@@ -9,6 +9,7 @@
 //! default instead of erroring, which the derive shim cannot express.
 
 use crate::inference::InferenceError;
+use orbit2_tensor::fused::WeightPrecision;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -45,6 +46,11 @@ pub struct ServeRequest {
     pub compression: f32,
     /// Output variables to return; `None` returns all model outputs.
     pub variables: Option<Vec<String>>,
+    /// Weight precision to serve this request at; `None` defers to the
+    /// server's configured default. The *effective* precision is part of
+    /// the response-cache identity: a bf16 answer is never returned for an
+    /// f32 request.
+    pub precision: Option<WeightPrecision>,
 }
 
 impl ServeRequest {
@@ -55,12 +61,25 @@ impl ServeRequest {
             source: RequestSource::Region { name: name.into(), time },
             compression: 1.0,
             variables: None,
+            precision: None,
         }
     }
 
     /// A raw-tensor request with default knobs.
     pub fn raw(id: u64, shape: Vec<usize>, data: Vec<f32>) -> Self {
-        Self { id, source: RequestSource::Raw { shape, data }, compression: 1.0, variables: None }
+        Self {
+            id,
+            source: RequestSource::Raw { shape, data },
+            compression: 1.0,
+            variables: None,
+            precision: None,
+        }
+    }
+
+    /// Builder-style explicit precision (overrides the server default).
+    pub fn at_precision(mut self, precision: WeightPrecision) -> Self {
+        self.precision = Some(precision);
+        self
     }
 }
 
@@ -81,6 +100,9 @@ impl Serialize for ServeRequest {
         m.insert("compression".into(), self.compression.serialize_value());
         if let Some(vars) = &self.variables {
             m.insert("variables".into(), vars.serialize_value());
+        }
+        if let Some(p) = self.precision {
+            m.insert("precision".into(), p.label().serialize_value());
         }
         Value::Object(m)
     }
@@ -119,7 +141,18 @@ impl Deserialize for ServeRequest {
             Some(v) => Some(Vec::<String>::deserialize_value(v)?),
             None => None,
         };
-        Ok(Self { id, source, compression, variables })
+        let precision = match obj.get("precision") {
+            Some(p) => {
+                let label = String::deserialize_value(p)?;
+                Some(WeightPrecision::parse(&label).ok_or_else(|| {
+                    SerdeError::new(format!(
+                        "unknown precision {label:?} (expected f32, bf16 or int8)"
+                    ))
+                })?)
+            }
+            None => None,
+        };
+        Ok(Self { id, source, compression, variables, precision })
     }
 }
 
@@ -139,6 +172,48 @@ pub struct ServeResponse {
     pub batch: usize,
     /// Server-side latency in microseconds (admission to completion).
     pub micros: u64,
+}
+
+/// Reply to a `{"cmd": "stats"}` control line: response-cache counters and
+/// per-precision request counts since server start.
+///
+/// Flat named fields rather than a map keep the derive-shim serialization
+/// stable and the reply greppable; counters are cumulative and only the
+/// entry count can shrink (on eviction).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Responses answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Cacheable responses that had to be computed.
+    pub cache_misses: u64,
+    /// Entries currently resident in the cache.
+    pub cache_entries: u64,
+    /// Completed requests served at f32 weights.
+    pub requests_f32: u64,
+    /// Completed requests served at bf16 weights.
+    pub requests_bf16: u64,
+    /// Completed requests served at int8 weights.
+    pub requests_int8: u64,
+}
+
+impl ServeStats {
+    /// Count one completed request at `precision`.
+    pub fn record(&mut self, precision: WeightPrecision) {
+        match precision {
+            WeightPrecision::F32 => self.requests_f32 += 1,
+            WeightPrecision::Bf16 => self.requests_bf16 += 1,
+            WeightPrecision::Int8 => self.requests_int8 += 1,
+        }
+    }
+
+    /// The request counter for `precision`.
+    pub fn requests_at(&self, precision: WeightPrecision) -> u64 {
+        match precision {
+            WeightPrecision::F32 => self.requests_f32,
+            WeightPrecision::Bf16 => self.requests_bf16,
+            WeightPrecision::Int8 => self.requests_int8,
+        }
+    }
 }
 
 /// The error half of a response line: `{"id": .., "error": {..}}`.
@@ -274,6 +349,47 @@ mod tests {
         assert!(serde_json::from_str::<ServeRequest>(r#"{"region": "x"}"#).is_err());
         // `shape` without `data` is also incomplete.
         assert!(serde_json::from_str::<ServeRequest>(r#"{"id": 1, "shape": [1]}"#).is_err());
+    }
+
+    #[test]
+    fn request_precision_roundtrips_and_defaults() {
+        let req = ServeRequest::region(2, "conus", 1).at_precision(WeightPrecision::Bf16);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains(r#""precision":"bf16""#), "{line}");
+        let back: ServeRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        // Absent field means "server default" and is not emitted on the
+        // wire (pre-precision clients and servers interoperate unchanged).
+        let default_req = ServeRequest::region(2, "conus", 1);
+        assert!(!serde_json::to_string(&default_req).unwrap().contains("precision"));
+        let old: ServeRequest = serde_json::from_str(r#"{"id": 2, "region": "conus"}"#).unwrap();
+        assert_eq!(old.precision, None);
+        // An explicit f32 *is* emitted (it must override a reduced default).
+        let f32_req = ServeRequest::region(2, "conus", 1).at_precision(WeightPrecision::F32);
+        assert!(serde_json::to_string(&f32_req).unwrap().contains(r#""precision":"f32""#));
+        // "i8" is an accepted alias; garbage is a hard error.
+        let alias: ServeRequest =
+            serde_json::from_str(r#"{"id": 1, "region": "x", "precision": "i8"}"#).unwrap();
+        assert_eq!(alias.precision, Some(WeightPrecision::Int8));
+        assert!(serde_json::from_str::<ServeRequest>(
+            r#"{"id": 1, "region": "x", "precision": "fp64"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stats_roundtrip_and_counters() {
+        let mut stats = ServeStats::default();
+        stats.record(WeightPrecision::Bf16);
+        stats.record(WeightPrecision::Bf16);
+        stats.record(WeightPrecision::Int8);
+        stats.cache_hits = 5;
+        stats.cache_entries = 2;
+        assert_eq!(stats.requests_at(WeightPrecision::Bf16), 2);
+        assert_eq!(stats.requests_at(WeightPrecision::F32), 0);
+        let line = serde_json::to_string(&stats).unwrap();
+        let back: ServeStats = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

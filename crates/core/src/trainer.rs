@@ -188,6 +188,16 @@ impl Trainer {
         &self.cfg
     }
 
+    /// The model in its current training state.
+    pub fn model(&self) -> &ReslimModel {
+        &self.model
+    }
+
+    /// The normalizer fitted at construction.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
     /// Arm (or disarm, with [`FaultPlan::none`]) deterministic fault
     /// injection for subsequent steps.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {

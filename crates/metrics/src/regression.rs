@@ -20,6 +20,42 @@ pub struct EvalReport {
     pub psnr: f64,
 }
 
+/// Absolute per-metric difference between two [`EvalReport`]s, used by the
+/// reduced-precision quality gate (f32 vs bf16/int8 sessions must agree
+/// within tolerance on every Table IV task).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportDelta {
+    /// `|r2_a - r2_b|`.
+    pub r2: f64,
+    /// `|ssim_a - ssim_b|`.
+    pub ssim: f64,
+    /// `|rmse_a - rmse_b|`.
+    pub rmse: f64,
+}
+
+impl EvalReport {
+    /// Absolute deltas of the gated metrics against `other`.
+    pub fn delta(&self, other: &EvalReport) -> ReportDelta {
+        ReportDelta {
+            r2: (self.r2 - other.r2).abs(),
+            ssim: (self.ssim - other.ssim).abs(),
+            rmse: (self.rmse - other.rmse).abs(),
+        }
+    }
+}
+
+impl ReportDelta {
+    /// Whether both gated metrics sit within their tolerances (RMSE is
+    /// reported for diagnostics but not gated — it is scale-dependent,
+    /// while R² and SSIM are normalized).
+    pub fn within(&self, r2_tol: f64, ssim_tol: f64) -> bool {
+        self.r2.is_finite()
+            && self.ssim.is_finite()
+            && self.r2 <= r2_tol
+            && self.ssim <= ssim_tol
+    }
+}
+
 /// Coefficient of determination `1 - SS_res / SS_tot`.
 ///
 /// Equals 1 for a perfect prediction, 0 for predicting the mean, and can go
@@ -103,6 +139,29 @@ pub fn latitude_weighted_rmse(pred: &[f32], truth: &[f32], weights: &[f32]) -> f
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn report_delta_gates_r2_and_ssim() {
+        let base = EvalReport {
+            r2: 0.95,
+            rmse: 1.0,
+            rmse_sigma1: 1.0,
+            rmse_sigma2: 1.0,
+            rmse_sigma3: 1.0,
+            ssim: 0.90,
+            psnr: 30.0,
+        };
+        let near = EvalReport { r2: 0.949, ssim: 0.902, rmse: 1.3, ..base };
+        let d = base.delta(&near);
+        assert!((d.r2 - 0.001).abs() < 1e-12);
+        assert!(d.within(0.01, 0.01));
+        // RMSE is diagnostic only: a large RMSE delta alone does not fail.
+        assert!(d.rmse > 0.2 && d.within(0.01, 0.01));
+        let far = EvalReport { r2: 0.80, ..base };
+        assert!(!base.delta(&far).within(0.01, 0.01));
+        let nan = EvalReport { ssim: f64::NAN, ..base };
+        assert!(!base.delta(&nan).within(1.0, 1.0), "NaN deltas must fail the gate");
+    }
 
     #[test]
     fn r2_perfect_and_mean_baselines() {

@@ -74,6 +74,12 @@ impl BaselineVit {
         InferenceSession::prepare(&self.params)
     }
 
+    /// Like [`session`](Self::session), but with the weight set held at a
+    /// reduced storage precision (see [`InferenceSession::prepare_at`]).
+    pub fn session_at(&self, precision: crate::infer::SessionPrecision) -> InferenceSession {
+        InferenceSession::prepare_at(&self.params, precision)
+    }
+
     /// Forward pass on one `[C_in, h, w]` sample → `[C_out, H, W]`.
     pub fn forward<E: Exec>(&self, ex: &E, input: &Tensor) -> E::Value {
         let cfg = &self.cfg;

@@ -22,6 +22,10 @@ use orbit2_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Storage precision of a session's resident weights — re-exported from the
+/// tensor crate so model-level callers need not name the kernel layer.
+pub use orbit2_tensor::fused::WeightPrecision as SessionPrecision;
+
 /// A value flowing through a tape-free forward pass: the tensor plus, for
 /// session-resident weights, the shared `W^T` pack.
 ///
@@ -53,6 +57,7 @@ impl SessionValue {
 /// Tape-free execution context holding session-resident weights and packs.
 pub struct InferenceSession {
     values: BTreeMap<String, SessionValue>,
+    precision: SessionPrecision,
 }
 
 impl InferenceSession {
@@ -61,14 +66,57 @@ impl InferenceSession {
     /// microkernel) exactly once. Biases, layer-norm gains and conv
     /// kernels are held unpacked — no GEMM ever consumes them as `B`.
     pub fn prepare(store: &ParamStore) -> Self {
+        Self::prepare_at(store, SessionPrecision::F32)
+    }
+
+    /// Snapshot a parameter store at a reduced weight precision.
+    ///
+    /// The resident tensor for every parameter is the *dequantized* value of
+    /// whatever the packs hold, so eligible GEMMs (through the pack) and
+    /// every other path (fallback GEMM shapes, convs, layer norms, biases)
+    /// see identical weight values:
+    ///
+    /// * `Bf16` rounds **every** parameter through [`Tensor::to_bf16`] —
+    ///   the whole weight set is bf16 end to end, and the per-layer `u16`
+    ///   packs are exactly those rounded values ([`crate::infer`]'s packs
+    ///   round-trip bit-identically).
+    /// * `Int8` quantizes only the packable 2-d linear weights (per-output-
+    ///   channel symmetric codes); biases, norm gains and conv kernels stay
+    ///   f32 — no kernel consumes int8 for them, so quantizing would cost
+    ///   quality for zero bytes saved on the hot path.
+    ///
+    /// Activations stay f32 everywhere; precision applies to weights only.
+    pub fn prepare_at(store: &ParamStore, precision: SessionPrecision) -> Self {
         let values = store
             .iter()
             .map(|(name, t)| {
-                let pack = PackedWeight::pack(t).map(Arc::new);
-                (name.clone(), SessionValue { tensor: t.clone(), pack })
+                let value = match precision {
+                    SessionPrecision::F32 => {
+                        let pack = PackedWeight::pack(t).map(Arc::new);
+                        SessionValue { tensor: t.clone(), pack }
+                    }
+                    SessionPrecision::Bf16 => {
+                        let rounded = t.to_bf16();
+                        let pack = PackedWeight::pack_at(&rounded, precision).map(Arc::new);
+                        SessionValue { tensor: rounded, pack }
+                    }
+                    SessionPrecision::Int8 => match PackedWeight::pack_at(t, precision) {
+                        Some(pack) => {
+                            let tensor = pack.dequantized().expect("int8 pack dequantizes");
+                            SessionValue { tensor, pack: Some(Arc::new(pack)) }
+                        }
+                        None => SessionValue { tensor: t.clone(), pack: None },
+                    },
+                };
+                (name.clone(), value)
             })
             .collect();
-        Self { values }
+        Self { values, precision }
+    }
+
+    /// The weight precision this session was prepared at.
+    pub fn precision(&self) -> SessionPrecision {
+        self.precision
     }
 
     /// Number of weights with a resident pack.
@@ -230,5 +278,37 @@ mod tests {
     fn unknown_param_panics_like_store() {
         let session = InferenceSession::prepare(&ParamStore::new());
         let _ = session.param("nope");
+    }
+
+    #[test]
+    fn bf16_session_rounds_every_parameter() {
+        let mut store = ParamStore::new();
+        store.insert("mlp.w1", randn(&[64, 32], 1));
+        store.insert("ln.g", randn(&[32], 2));
+        store.insert("conv.w", randn(&[8, 4, 3, 3], 3));
+        let session = InferenceSession::prepare_at(&store, SessionPrecision::Bf16);
+        assert_eq!(session.precision(), SessionPrecision::Bf16);
+        for name in ["mlp.w1", "ln.g", "conv.w"] {
+            let got = session.param(name);
+            let expect = store.get(name).to_bf16();
+            got.tensor().assert_close(&expect, 0.0);
+        }
+        // The 2-d linear weight is packed regardless of SIMD mode (the
+        // quantized values must not depend on it); others never pack.
+        assert_eq!(session.packed_weights(), 1);
+    }
+
+    #[test]
+    fn int8_session_resident_tensor_matches_pack() {
+        use orbit2_tensor::fused::{PackedWeight, WeightPrecision};
+        let mut store = ParamStore::new();
+        store.insert("mlp.w1", randn(&[64, 32], 1));
+        store.insert("bias", randn(&[64], 2));
+        let session = InferenceSession::prepare_at(&store, SessionPrecision::Int8);
+        let w = session.param("mlp.w1");
+        let pw = PackedWeight::pack_at(store.get("mlp.w1"), WeightPrecision::Int8).unwrap();
+        w.tensor().assert_close(&pw.dequantized().unwrap(), 0.0);
+        // Non-packable parameters stay f32 untouched in an int8 session.
+        session.param("bias").tensor().assert_close(store.get("bias"), 0.0);
     }
 }

@@ -51,6 +51,12 @@ impl ReslimModel {
         InferenceSession::prepare(&self.params)
     }
 
+    /// Like [`session`](Self::session), but with the weight set held at a
+    /// reduced storage precision (see [`InferenceSession::prepare_at`]).
+    pub fn session_at(&self, precision: crate::infer::SessionPrecision) -> InferenceSession {
+        InferenceSession::prepare_at(&self.params, precision)
+    }
+
     /// Forward pass on one `[C_in, h, w]` sample.
     ///
     /// Generic over the execution context: a [`crate::Binder`] records the

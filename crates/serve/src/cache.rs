@@ -8,6 +8,7 @@
 //! cheaper than maintaining an intrusive list. Hit/miss counters are
 //! atomics so the hot read path never takes the map lock twice.
 
+use orbit2_tensor::fused::WeightPrecision;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -25,6 +26,9 @@ pub(crate) struct CacheKey {
     pub compression_bits: u32,
     /// Refinement factor of the serving model.
     pub scale: usize,
+    /// Effective weight precision the response was computed at — a bf16
+    /// prediction must never answer an f32 request.
+    pub precision: WeightPrecision,
 }
 
 /// A cached response body.
@@ -138,6 +142,7 @@ mod tests {
             variables: vec![],
             compression_bits: 1.0f32.to_bits(),
             scale: 4,
+            precision: WeightPrecision::F32,
         }
     }
 
@@ -182,6 +187,9 @@ mod tests {
         let mut time = key("a", 1);
         time.time = 1;
         assert!(cache.get(&time).is_none());
+        let mut prec = key("a", 0);
+        prec.precision = WeightPrecision::Bf16;
+        assert!(cache.get(&prec).is_none(), "cross-precision hits must be impossible");
     }
 
     #[test]

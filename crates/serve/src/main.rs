@@ -5,6 +5,7 @@
 //! orbit2-serve [--addr 127.0.0.1:7878] [--grid 32x64] [--samples 32]
 //!              [--tiles N] [--halo H] [--max-batch N] [--window-us N]
 //!              [--cache N] [--queue N] [--no-batching] [--seed N]
+//!              [--precision f32|bf16|int8]
 //! ```
 //!
 //! The server hosts two synthetic regions, `conus` and `global`, over a
@@ -17,7 +18,7 @@
 
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_imaging::tiles::TileSpec;
-use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_model::{ModelConfig, ReslimModel, SessionPrecision};
 use orbit2_serve::{Region, Server, ServerConfig};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -34,6 +35,7 @@ struct Args {
     queue: usize,
     batching: bool,
     seed: u64,
+    precision: SessionPrecision,
 }
 
 impl Default for Args {
@@ -50,13 +52,14 @@ impl Default for Args {
             queue: 256,
             batching: true,
             seed: 17,
+            precision: SessionPrecision::F32,
         }
     }
 }
 
 const USAGE: &str = "usage: orbit2-serve [--addr HOST:PORT] [--grid HxW] [--samples N] \
 [--tiles N] [--halo H] [--max-batch N] [--window-us N] [--cache N] [--queue N] \
-[--no-batching] [--seed N]";
+[--no-batching] [--seed N] [--precision f32|bf16|int8]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -87,6 +90,11 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => args.cache = parse_num(&value("--cache")?, "--cache")?,
             "--queue" => args.queue = parse_num(&value("--queue")?, "--queue")?,
             "--no-batching" => args.batching = false,
+            "--precision" => {
+                let v = value("--precision")?;
+                args.precision = SessionPrecision::parse(&v)
+                    .ok_or_else(|| format!("--precision wants f32, bf16 or int8, got {v}"))?;
+            }
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -139,6 +147,7 @@ fn main() {
         cache_capacity: args.cache,
         queue_capacity: args.queue,
         batching: args.batching,
+        precision: args.precision,
     };
     let server = Arc::new(Server::start(
         model,
@@ -160,13 +169,14 @@ fn main() {
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr);
     println!(
         "orbit2-serve listening on {bound} (regions: conus, global; coarse grid {}x{}; \
-         batching {}; max_batch {}; window {}us; cache {})",
+         batching {}; max_batch {}; window {}us; cache {}; precision {})",
         h / factor,
         w / factor,
         if args.batching { "on" } else { "off" },
         args.max_batch,
         args.window_micros,
         args.cache,
+        args.precision.label(),
     );
     if let Err(e) = orbit2_serve::serve(server, listener) {
         eprintln!("listener error: {e}");

@@ -26,11 +26,13 @@ use orbit2::serving::{RequestSource, ServeError, ServeRequest, ServeResponse};
 use orbit2::tiling::{split_stack, stitch_predictions};
 use orbit2_climate::{DownscalingDataset, Normalizer};
 use orbit2_imaging::tiles::{TileGeometry, TileSpec};
+use orbit2::serving::ServeStats;
 use orbit2_model::{InferenceSession, ReslimModel};
+use orbit2_tensor::fused::WeightPrecision;
 use orbit2_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Serving knobs. The defaults suit the CPU-scale models in this repo;
@@ -52,6 +54,10 @@ pub struct ServerConfig {
     /// Cross-request batching on/off (off = every job runs alone; the
     /// serving bench compares the two).
     pub batching: bool,
+    /// Weight precision for requests that don't ask for one explicitly.
+    /// The session at this precision is prepared eagerly at startup;
+    /// sessions for other requested precisions are built on first use.
+    pub precision: WeightPrecision,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +69,7 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             queue_capacity: 256,
             batching: true,
+            precision: WeightPrecision::F32,
         }
     }
 }
@@ -81,6 +88,8 @@ pub(crate) struct RequestState {
     /// Admission order; the batcher round-robins over this.
     pub(crate) seq: u64,
     compression: f32,
+    /// Effective weight precision (request override or server default).
+    precision: WeightPrecision,
     in_h: usize,
     in_w: usize,
     remaining: AtomicUsize,
@@ -110,6 +119,9 @@ pub(crate) struct JobKey {
     h: usize,
     w: usize,
     compression_bits: u32,
+    /// A batched forward runs through one session, so only jobs at the
+    /// same precision may stack.
+    precision: WeightPrecision,
 }
 
 /// One tile of one request, queued for execution.
@@ -137,7 +149,9 @@ pub struct ServerStats {
 
 struct Inner {
     model: ReslimModel,
-    session: InferenceSession,
+    /// One session slot per precision, built on first use (the configured
+    /// default is warmed at startup). Indexed by `precision_slot`.
+    sessions: [OnceLock<InferenceSession>; 3],
     normalizer: Normalizer,
     regions: Vec<Region>,
     cfg: ServerConfig,
@@ -151,6 +165,17 @@ struct Inner {
     completed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
+    /// Completed requests (cache hits included) per precision slot.
+    requests_by_precision: [AtomicU64; 3],
+}
+
+/// Index of a precision's session/counter slot.
+fn precision_slot(p: WeightPrecision) -> usize {
+    match p {
+        WeightPrecision::F32 => 0,
+        WeightPrecision::Bf16 => 1,
+        WeightPrecision::Int8 => 2,
+    }
 }
 
 /// A persistent inference server. See the module docs for the lifecycle;
@@ -170,10 +195,9 @@ impl Server {
         regions: Vec<Region>,
         cfg: ServerConfig,
     ) -> Self {
-        let session = model.session();
         let inner = Arc::new(Inner {
             model,
-            session,
+            sessions: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             normalizer,
             regions,
             cfg,
@@ -187,7 +211,11 @@ impl Server {
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
+            requests_by_precision: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         });
+        // Warm the default-precision session so the first request doesn't
+        // pay weight packing.
+        inner.session_at(cfg.precision);
         let worker = Arc::clone(&inner);
         let batcher = std::thread::Builder::new()
             .name("orbit2-serve-batcher".into())
@@ -206,6 +234,20 @@ impl Server {
     /// Response-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.stats()
+    }
+
+    /// The combined wire-stats snapshot for `{"cmd": "stats"}` replies:
+    /// response-cache counters plus per-precision request counts.
+    pub fn serve_stats(&self) -> ServeStats {
+        let cache = self.inner.cache.stats();
+        ServeStats {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u64,
+            requests_f32: self.inner.requests_by_precision[0].load(Ordering::Relaxed),
+            requests_bf16: self.inner.requests_by_precision[1].load(Ordering::Relaxed),
+            requests_int8: self.inner.requests_by_precision[2].load(Ordering::Relaxed),
+        }
     }
 
     /// Server throughput counters.
@@ -246,6 +288,12 @@ impl Drop for Server {
 }
 
 impl Inner {
+    /// The session serving `precision`, built on first use.
+    fn session_at(&self, precision: WeightPrecision) -> &InferenceSession {
+        self.sessions[precision_slot(precision)]
+            .get_or_init(|| self.model.session_at(precision))
+    }
+
     pub(crate) fn submit(&self, req: ServeRequest) -> Handle {
         let started = Instant::now();
         let slot = Oneshot::new();
@@ -268,6 +316,7 @@ impl Inner {
         if req.compression < 1.0 || !req.compression.is_finite() {
             return Err(ServeError::BadCompression { got: req.compression });
         }
+        let precision = req.precision.unwrap_or(self.cfg.precision);
         let var_sel = match &req.variables {
             None => None,
             Some(names) => {
@@ -301,6 +350,7 @@ impl Inner {
                     variables: req.variables.clone().unwrap_or_default(),
                     compression_bits: req.compression.to_bits(),
                     scale: self.model.cfg.scale_factor,
+                    precision,
                 };
                 (region.dataset.sample(*time).input, Some(key))
             }
@@ -323,6 +373,8 @@ impl Inner {
 
         if let Some(key) = &cache_key {
             if let Some(hit) = self.cache.get(key) {
+                self.requests_by_precision[precision_slot(precision)]
+                    .fetch_add(1, Ordering::Relaxed);
                 slot.complete(Ok(ServeResponse {
                     id: req.id,
                     shape: hit.shape,
@@ -350,6 +402,7 @@ impl Inner {
             id: req.id,
             seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
             compression: req.compression,
+            precision,
             in_h: h,
             in_w: w,
             remaining: AtomicUsize::new(tiles.len()),
@@ -368,6 +421,7 @@ impl Inner {
                     h: tile_input.shape()[1],
                     w: tile_input.shape()[2],
                     compression_bits: req.compression.to_bits(),
+                    precision,
                 };
                 queue.push_back(TileJob {
                     req: Arc::clone(&state),
@@ -476,15 +530,18 @@ fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
     }
     let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Vec<Tensor> {
         if n > 1 {
+            // Stackable jobs share a `JobKey`, hence a single precision.
+            let session = inner.session_at(jobs[0].req.precision);
             let refs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
-            orbit2_model::forward_batch(&inner.model, &inner.session, &refs, jobs[0].req.compression)
+            orbit2_model::forward_batch(&inner.model, session, &refs, jobs[0].req.compression)
                 .into_iter()
                 .map(|(pred, _)| pred)
                 .collect()
         } else {
             jobs.iter()
                 .map(|j| {
-                    inner.model.forward(&inner.session, &j.input, j.req.compression).0.into_tensor()
+                    let session = inner.session_at(j.req.precision);
+                    inner.model.forward(session, &j.input, j.req.compression).0.into_tensor()
                 })
                 .collect()
         }
@@ -544,6 +601,7 @@ fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
         );
     }
     inner.completed.fetch_add(1, Ordering::Relaxed);
+    inner.requests_by_precision[precision_slot(req.precision)].fetch_add(1, Ordering::Relaxed);
     req.done.complete(Ok(ServeResponse {
         id: req.id,
         shape: output.shape().to_vec(),
@@ -564,6 +622,7 @@ mod tests {
             id: seq,
             seq,
             compression: 1.0,
+            precision: WeightPrecision::F32,
             in_h: 4,
             in_w: 4,
             remaining: AtomicUsize::new(tiles),
@@ -583,7 +642,12 @@ mod tests {
             tile_index,
             geom: TileGeometry { ty: 0, tx: 0, core_y0: 0, core_x0: 0, core_h: h, core_w: h, halo: 0 },
             input: Tensor::zeros(vec![1, h, h]),
-            key: JobKey { h, w: h, compression_bits: 1.0f32.to_bits() },
+            key: JobKey {
+                h,
+                w: h,
+                compression_bits: 1.0f32.to_bits(),
+                precision: WeightPrecision::F32,
+            },
             enqueued: Instant::now(),
         }
     }

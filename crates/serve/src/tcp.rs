@@ -11,10 +11,15 @@
 //! Success lines are a serialized [`ServeResponse`]; failures are
 //! `{"id": N, "error": {"kind": "...", "message": "..."}}` with `kind`
 //! one of the stable [`ServeError::kind`] strings.
+//!
+//! Besides requests, a connection may send control lines of the form
+//! `{"cmd": "..."}`. The only command today is `stats`, answered
+//! immediately (in line order with any pipelined requests) with a
+//! serialized [`ServeStats`] object.
 
 use crate::oneshot::Handle;
 use crate::server::Server;
-use orbit2::serving::{ServeError, ServeRequest, ServeResponse, WireError};
+use orbit2::serving::{ServeError, ServeRequest, ServeResponse, ServeStats, WireError};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -71,15 +76,40 @@ fn best_effort_id(line: &str) -> u64 {
         .unwrap_or(0.0) as u64
 }
 
+/// One unit of the writer thread's FIFO: either a pending request handle
+/// (wait, then render) or an already-rendered line (control replies). The
+/// single queue keeps replies in line order even when control lines are
+/// interleaved with pipelined requests.
+enum Outgoing {
+    Pending(Handle),
+    Line(String),
+}
+
+/// Handle a `{"cmd": ...}` control line, returning the reply line.
+fn control_line(server: &Server, cmd: &str) -> String {
+    match cmd {
+        "stats" => serde_json::to_string(&server.serve_stats()).expect("stats serialize"),
+        other => response_line(
+            0,
+            &Err(ServeError::BadRequest { reason: format!("unknown cmd {other:?}") }),
+        ),
+    }
+}
+
 fn handle_conn(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
-    let (tx, rx) = mpsc::channel::<Handle>();
+    let (tx, rx) = mpsc::channel::<Outgoing>();
     let writer_stream = stream;
     let writer = std::thread::spawn(move || -> std::io::Result<()> {
         let mut out = writer_stream;
-        for handle in rx {
-            let result = handle.wait();
-            let line = response_line(handle.id(), &result);
+        for item in rx {
+            let line = match item {
+                Outgoing::Pending(handle) => {
+                    let result = handle.wait();
+                    response_line(handle.id(), &result)
+                }
+                Outgoing::Line(line) => line,
+            };
             out.write_all(line.as_bytes())?;
             out.write_all(b"\n")?;
             out.flush()?;
@@ -91,14 +121,23 @@ fn handle_conn(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
-        let handle = match serde_json::from_str::<ServeRequest>(&line) {
-            Ok(req) => server.submit(req),
-            Err(e) => Handle::failed(
-                best_effort_id(&line),
-                ServeError::BadRequest { reason: e.to_string() },
-            ),
+        let cmd = serde_json::from_str::<Value>(&line).ok().and_then(|v| {
+            v.as_object()
+                .and_then(|o| o.get("cmd"))
+                .and_then(Value::as_str)
+                .map(str::to_string)
+        });
+        let item = match cmd {
+            Some(cmd) => Outgoing::Line(control_line(server, &cmd)),
+            None => Outgoing::Pending(match serde_json::from_str::<ServeRequest>(&line) {
+                Ok(req) => server.submit(req),
+                Err(e) => Handle::failed(
+                    best_effort_id(&line),
+                    ServeError::BadRequest { reason: e.to_string() },
+                ),
+            }),
         };
-        if tx.send(handle).is_err() {
+        if tx.send(item).is_err() {
             break;
         }
     }
@@ -164,6 +203,20 @@ impl Client {
     pub fn roundtrip(&mut self, req: &ServeRequest) -> std::io::Result<ServerReply> {
         self.send(req)?;
         self.recv()
+    }
+
+    /// Query the server's cache/precision counters.
+    pub fn stats(&mut self) -> std::io::Result<ServeStats> {
+        self.send_line(r#"{"cmd":"stats"}"#)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(line.trim_end()).map_err(std::io::Error::other)
     }
 }
 

@@ -4,6 +4,7 @@
 
 use orbit2::inference::downscale_with;
 use orbit2::serving::{ServeError, ServeRequest};
+use orbit2_model::SessionPrecision;
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_imaging::tiles::TileSpec;
 use orbit2_model::{ModelConfig, ReslimModel};
@@ -218,4 +219,108 @@ fn bad_requests_get_typed_errors() {
 
     let err = server.submit(ServeRequest::raw(8, vec![7, 4, 8], vec![0.0; 3])).wait().unwrap_err();
     assert!(matches!(err, ServeError::BadRequest { .. }), "shape/data mismatch: {err}");
+}
+
+/// Per-precision serving: a request carrying `precision` runs through a
+/// session packed at that precision, bitwise-equal to a direct call through
+/// the same reduced session, and distinct precisions never share cache
+/// entries.
+#[test]
+fn precision_requests_match_reduced_sessions_and_never_share_cache() {
+    let (server, model, norm, ds) = start(ServerConfig { cache_capacity: 8, ..ServerConfig::default() });
+    let input = ds.sample(1).input;
+    for (precision, label) in
+        [(SessionPrecision::Bf16, "bf16"), (SessionPrecision::Int8, "int8")]
+    {
+        let req = ServeRequest::region(1, "conus", 1).at_precision(precision);
+        let resp = server.submit(req).wait().unwrap();
+        let session = model.session_at(precision);
+        let reference = downscale_with(&model, &session, &norm, &input, None, 1.0).unwrap();
+        assert_eq!(resp.data, reference.data(), "served {label} != direct {label} session");
+        assert!(!resp.cached, "{label} must not hit another precision's cache entry");
+        // Same request again: now it hits, within its own precision.
+        let warm = server
+            .submit(ServeRequest::region(2, "conus", 1).at_precision(precision))
+            .wait()
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.data, resp.data);
+    }
+    // The f32 default still computes its own entry: three misses total.
+    let f32_resp = server.submit(ServeRequest::region(3, "conus", 1)).wait().unwrap();
+    assert!(!f32_resp.cached, "f32 must not reuse a reduced-precision entry");
+    let stats = server.serve_stats();
+    assert_eq!(stats.cache_misses, 3);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.requests_bf16, 2);
+    assert_eq!(stats.requests_int8, 2);
+    assert_eq!(stats.requests_f32, 1);
+}
+
+/// An explicit `precision: "f32"` on the wire overrides a reduced server
+/// default; an omitted precision inherits the default.
+#[test]
+fn server_default_precision_applies_to_unlabelled_requests() {
+    let cfg = ServerConfig {
+        precision: SessionPrecision::Bf16,
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let input = ds.sample(0).input;
+
+    let default_resp = server.submit(ServeRequest::region(1, "conus", 0)).wait().unwrap();
+    let bf16 = model.session_at(SessionPrecision::Bf16);
+    let reference = downscale_with(&model, &bf16, &norm, &input, None, 1.0).unwrap();
+    assert_eq!(default_resp.data, reference.data(), "unlabelled request must use the bf16 default");
+
+    let forced = server
+        .submit(ServeRequest::region(2, "conus", 0).at_precision(SessionPrecision::F32))
+        .wait()
+        .unwrap();
+    let f32_session = model.session();
+    let f32_ref = downscale_with(&model, &f32_session, &norm, &input, None, 1.0).unwrap();
+    assert_eq!(forced.data, f32_ref.data(), "explicit f32 must override the bf16 default");
+    assert!(!forced.cached);
+
+    let stats = server.serve_stats();
+    assert_eq!(stats.requests_bf16, 1);
+    assert_eq!(stats.requests_f32, 1);
+}
+
+/// Mixed-precision bursts must never stack into one forward: the job key
+/// includes the precision, so each batch runs through a single session.
+#[test]
+fn mixed_precision_bursts_do_not_cobatch() {
+    let cfg = ServerConfig {
+        max_batch: 8,
+        window_micros: 200_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let input = ds.sample(2).input;
+    let mk = |id: u64, p: SessionPrecision| {
+        ServeRequest::raw(id, input.shape().to_vec(), input.data().to_vec()).at_precision(p)
+    };
+    let handles: Vec<_> = [
+        SessionPrecision::F32,
+        SessionPrecision::Bf16,
+        SessionPrecision::F32,
+        SessionPrecision::Bf16,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &p)| (p, server.submit(mk(i as u64, p))))
+    .collect();
+    for (precision, handle) in handles {
+        let resp = handle.wait().unwrap();
+        let session = model.session_at(precision);
+        let reference = downscale_with(&model, &session, &norm, &input, None, 1.0).unwrap();
+        assert_eq!(
+            resp.data,
+            reference.data(),
+            "a {precision:?} request must be served by a {precision:?} session even in a mixed burst"
+        );
+    }
 }

@@ -3,6 +3,7 @@
 //! pipeline, and hit the cache exactly as through the library API.
 
 use orbit2::serving::ServeRequest;
+use orbit2_model::SessionPrecision;
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_model::{ModelConfig, ReslimModel};
 use orbit2_serve::{Client, Region, Server, ServerConfig, ServerReply};
@@ -130,4 +131,54 @@ fn queue_full_and_shutdown_surface_over_tcp() {
     server.shutdown();
     client.send(&ServeRequest::region(51, "conus", 0)).unwrap();
     expect_error(client.recv().unwrap(), 51, "shutting_down");
+}
+
+/// The `{"cmd":"stats"}` control line answers in order with the server's
+/// cache and per-precision counters, interleaved with pipelined requests.
+#[test]
+fn stats_command_reports_counters_over_the_wire() {
+    let (_server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let zero = client.stats().unwrap();
+    assert_eq!(zero.requests_f32 + zero.requests_bf16 + zero.requests_int8, 0);
+
+    let _ = client.roundtrip(&ServeRequest::region(1, "conus", 4)).unwrap();
+    let _ = client.roundtrip(&ServeRequest::region(2, "conus", 4)).unwrap();
+    let _ = client
+        .roundtrip(&ServeRequest::region(3, "conus", 4).at_precision(SessionPrecision::Bf16))
+        .unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 2, "f32 and bf16 each computed once");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_entries, 2);
+    assert_eq!(stats.requests_f32, 2);
+    assert_eq!(stats.requests_bf16, 1);
+    assert_eq!(stats.requests_int8, 0);
+}
+
+/// Unknown commands get a typed bad_request line instead of hanging the
+/// connection, and the connection stays usable afterwards.
+#[test]
+fn unknown_command_is_bad_request_and_connection_survives() {
+    let (_server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    client.send_line(r#"{"cmd":"selfdestruct"}"#).unwrap();
+    expect_error(client.recv().unwrap(), 0, "bad_request");
+    match client.roundtrip(&ServeRequest::region(9, "conus", 0)).unwrap() {
+        ServerReply::Response(resp) => assert_eq!(resp.id, 9),
+        other => panic!("connection should survive an unknown cmd, got {other:?}"),
+    }
+}
+
+/// A wire request with an unparseable precision label fails as bad_request.
+#[test]
+fn bad_precision_label_is_bad_request() {
+    let (_server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .send_line(r#"{"id": 60, "region": "conus", "time": 0, "precision": "fp64"}"#)
+        .unwrap();
+    expect_error(client.recv().unwrap(), 60, "bad_request");
 }

@@ -1,13 +1,23 @@
-//! BF16 emulation for the mixed-precision trainer.
+//! BF16 emulation and real `u16`-backed BF16 storage.
 //!
-//! The paper trains in BFLOAT16 with dynamic gradient scaling (Sec. III-D).
-//! We emulate BF16 on the CPU by rounding `f32` values to the nearest value
-//! representable with an 8-bit mantissa (round-to-nearest-even on the
-//! truncated bits), which reproduces BF16's precision loss while keeping all
-//! arithmetic in `f32` — the same trick PyTorch uses for CPU BF16 emulation.
+//! The paper trains ORBIT-2 in BFLOAT16 with dynamic gradient scaling
+//! (Sec. III-D). Two layers of support live here:
+//!
+//! * **Emulation** ([`bf16_round`], [`Bf16Mode`]): `f32` values rounded to
+//!   the nearest 8-bit-mantissa value (round-to-nearest-even on the
+//!   truncated bits) while staying 32-bit in memory — the same trick
+//!   PyTorch uses for CPU BF16 emulation. Used by the mixed-precision
+//!   trainer, where every value immediately re-enters f32 arithmetic.
+//! * **Storage** ([`f32_to_bf16`], [`bf16_to_f32`]): real 16-bit words (the
+//!   high half of the rounded f32 bit pattern), halving the bytes a weight
+//!   stream moves. The reduced-precision GEMM ([`crate::qgemm`]) keeps
+//!   resident weight packs in this form. Round-tripping storage is
+//!   bit-identical to [`bf16_round`] for every finite and infinite value;
+//!   NaNs keep their class but not their payload (a 16-bit word cannot hold
+//!   payload bits that live in the low mantissa half, so the quiet bit is
+//!   forced to keep the encoding a NaN rather than decaying to infinity).
 
 use crate::pool;
-use crate::simd;
 use crate::tensor::Tensor;
 
 /// Whether a computation runs in full or emulated-BF16 precision.
@@ -34,18 +44,15 @@ pub fn bf16_round(x: f32) -> f32 {
 
 /// Round every element of a slice to BF16 precision, in place.
 ///
-/// The branchless integer formulation (round bias + mask, with a select to
-/// pass non-finite values through unchanged) vectorizes: the whole body is
-/// straight-line `u32` arithmetic, so LLVM turns it into 8-wide integer ops
-/// where the scalar [`bf16_round`]'s early return blocks that. Semantics
-/// are bit-identical to mapping `bf16_round`.
+/// One branchless integer body for both SIMD modes: round bias + mask, with
+/// a select to pass non-finite values through unchanged. The whole loop is
+/// straight-line `u32` arithmetic, so LLVM turns it into wide integer ops
+/// where the scalar [`bf16_round`]'s early return blocks that — and because
+/// it is bit-identical to mapping `bf16_round` (asserted by
+/// `slice_round_matches_scalar_bitwise`), no separate scalar body is needed
+/// under `ORBIT2_DISABLE_SIMD=1`; that escape hatch matters only where the
+/// vector and scalar paths can round differently (the GEMM kernels).
 pub fn bf16_round_slice(dst: &mut [f32]) {
-    if !simd::enabled() {
-        for v in dst.iter_mut() {
-            *v = bf16_round(*v);
-        }
-        return;
-    }
     for v in dst.iter_mut() {
         let bits = v.to_bits();
         let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
@@ -56,12 +63,60 @@ pub fn bf16_round_slice(dst: &mut [f32]) {
     }
 }
 
+/// Convert one `f32` to a `u16` BF16 word (round-to-nearest-even).
+///
+/// The word is the high half of [`bf16_round`]'s bit pattern, so widening it
+/// back with [`bf16_to_f32`] reproduces `bf16_round(x)` bit for bit — except
+/// for NaNs whose payload lives entirely in the low mantissa bits, where
+/// truncation would yield an infinity encoding; the quiet bit is forced so
+/// the value stays a NaN.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if (bits & 0x7F80_0000) == 0x7F80_0000 {
+        // Inf or NaN: truncate, forcing the quiet bit for NaNs.
+        let hi = (bits >> 16) as u16;
+        return if bits & 0x007F_FFFF != 0 { hi | 0x0040 } else { hi };
+    }
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(rounding_bias) >> 16) as u16
+}
+
+/// Widen one `u16` BF16 word back to `f32` (exact; every BF16 value is
+/// representable).
+#[inline(always)]
+pub fn bf16_to_f32(w: u16) -> f32 {
+    f32::from_bits((w as u32) << 16)
+}
+
+/// Convert a slice of `f32` into freshly allocated BF16 words.
+pub fn f32_slice_to_bf16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&x| f32_to_bf16(x)).collect()
+}
+
+/// Widen BF16 words into an `f32` destination of the same length.
+///
+/// The body is a zero-extend and a shift per element — LLVM vectorizes it —
+/// and it is the inner widening step of the bf16 GEMM's strip scratch.
+#[inline]
+pub fn bf16_slice_to_f32(src: &[u16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &w) in dst.iter_mut().zip(src) {
+        *d = bf16_to_f32(w);
+    }
+}
+
 impl Tensor {
     /// Quantize every element to BF16 precision (returns a new tensor).
     pub fn to_bf16(&self) -> Tensor {
         let mut out = pool::alloc_uninit(self.len());
-        out.copy_from_slice(self.data());
-        bf16_round_slice(&mut out);
+        for (o, &x) in out.iter_mut().zip(self.data()) {
+            let bits = x.to_bits();
+            let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+            let rounded = bits.wrapping_add(rounding_bias) & 0xFFFF_0000;
+            let nonfinite = (bits & 0x7F80_0000) == 0x7F80_0000;
+            *o = f32::from_bits(if nonfinite { bits } else { rounded });
+        }
         Tensor::from_vec(self.shape().to_vec(), out)
     }
 
@@ -130,6 +185,53 @@ mod tests {
         bf16_round_slice(&mut rounded);
         for (&orig, &got) in v.iter().zip(&rounded) {
             assert_eq!(got.to_bits(), bf16_round(orig).to_bits(), "input {orig}");
+        }
+    }
+
+    #[test]
+    fn storage_roundtrip_matches_emulation_bitwise() {
+        use crate::random::randn;
+        let t = randn(&[513], 7);
+        let mut v = t.data().to_vec();
+        v.extend([
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            1e-42, // subnormal
+            f32::from_bits(0x3F80_8000),
+        ]);
+        for &x in &v {
+            let rt = bf16_to_f32(f32_to_bf16(x));
+            assert_eq!(rt.to_bits(), bf16_round(x).to_bits(), "input {x}");
+        }
+    }
+
+    #[test]
+    fn storage_preserves_nan_class() {
+        // A payload held entirely in the low mantissa bits would truncate to
+        // an infinity encoding; the quiet bit keeps it NaN.
+        for nan in [f32::NAN, f32::from_bits(0x7F80_0001), f32::from_bits(0xFF80_FFFF)] {
+            let w = f32_to_bf16(nan);
+            assert!(bf16_to_f32(w).is_nan(), "word {w:#06x}");
+            assert_eq!(bf16_to_f32(w).is_sign_negative(), nan.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn slice_conversions_roundtrip() {
+        use crate::random::randn;
+        let t = randn(&[97], 13);
+        let words = f32_slice_to_bf16(t.data());
+        let mut wide = vec![0.0f32; words.len()];
+        bf16_slice_to_f32(&words, &mut wide);
+        let expect = t.to_bf16();
+        for (a, b) in wide.iter().zip(expect.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

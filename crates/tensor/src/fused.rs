@@ -25,6 +25,7 @@
 use crate::matmul::{gemm, gemm_rows_packed_b, pack_b_full, packed_eligible, MatLayout};
 use crate::ops::{gelu_grad_scalar, gelu_scalar};
 use crate::pool;
+use crate::qgemm::{self, PackedWeightBf16, PackedWeightI8};
 use crate::simd::{self, F32x8, LANES};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -72,32 +73,57 @@ impl Activation {
     }
 }
 
-/// A linear-layer weight packed once into microkernel strips and kept
-/// resident across calls.
+/// Storage precision of a resident weight pack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum WeightPrecision {
+    /// Full f32 strips — bit-identical to the per-call pack path.
+    #[default]
+    F32,
+    /// `u16` BF16 words, widened to f32 inside the kernel.
+    Bf16,
+    /// Symmetric per-output-channel `i8` codes with f32 scales.
+    Int8,
+}
+
+impl WeightPrecision {
+    /// Stable lowercase label used in wire formats and bench row names.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightPrecision::F32 => "f32",
+            WeightPrecision::Bf16 => "bf16",
+            WeightPrecision::Int8 => "int8",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a precision.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(WeightPrecision::F32),
+            "bf16" => Some(WeightPrecision::Bf16),
+            "int8" | "i8" => Some(WeightPrecision::Int8),
+            _ => None,
+        }
+    }
+}
+
+/// A full-width linear weight packed once into f32 microkernel strips.
 ///
-/// [`matmul_bias_act`] re-packs `W^T` on every invocation (the pack is
-/// shared across row blocks within one call, but not across calls). An
-/// inference session that replays the same weights thousands of times pays
-/// that pack cost exactly once by holding a `PackedWeight` per linear
-/// weight and passing it to [`matmul_bias_act_cached`].
-///
-/// The pack bytes are identical to what `matmul_bias_act` would produce
-/// internally, so routing through a resident pack is bit-identical to the
-/// per-call path. Storage is a plain `Vec` (copied out of the pooled
+/// The pack bytes are identical to what [`matmul_bias_act`] would produce
+/// internally, so routing through a resident f32 pack is bit-identical to
+/// the per-call path. Storage is a plain `Vec` (copied out of the pooled
 /// buffer) so the pack is `Send + Sync` and shareable across worker
 /// threads without touching any thread-local pool.
 #[derive(Debug, Clone)]
-pub struct PackedWeight {
+pub struct PackedWeightF32 {
     pack: Vec<f32>,
     n: usize,
     k: usize,
 }
 
-impl PackedWeight {
+impl PackedWeightF32 {
     /// Pack a `[n, k]` weight for reuse. Returns `None` when packing can
     /// never help: SIMD disabled, not 2-d, or too few output features for
-    /// the packed microkernel (`n < LANES`) — callers then fall back to the
-    /// unpacked GEMM, exactly as [`matmul_bias_act`] does.
+    /// the packed microkernel (`n < LANES`).
     pub fn pack(w: &Tensor) -> Option<Self> {
         if !simd::enabled() || w.ndim() != 2 {
             return None;
@@ -107,17 +133,101 @@ impl PackedWeight {
             return None;
         }
         let pack = pack_b_full(w.data(), MatLayout::transposed(k), k, n).into_vec();
-        Some(PackedWeight { pack, n, k })
+        Some(PackedWeightF32 { pack, n, k })
+    }
+}
+
+/// A linear-layer weight packed once and kept resident across calls, at one
+/// of three storage precisions.
+///
+/// [`matmul_bias_act`] re-packs `W^T` on every invocation (the pack is
+/// shared across row blocks within one call, but not across calls). An
+/// inference session that replays the same weights thousands of times pays
+/// that pack cost exactly once by holding a `PackedWeight` per linear
+/// weight and passing it to [`matmul_bias_act_cached`]. The
+/// [`Bf16`](WeightPrecision::Bf16) and [`Int8`](WeightPrecision::Int8)
+/// variants additionally shrink the resident bytes 2×/4× and run the wider
+/// reduced-precision kernel ([`crate::qgemm`]).
+#[derive(Debug, Clone)]
+pub enum PackedWeight {
+    /// Full-width strips (the PR-3 path, bit-identical to per-call packing).
+    F32(PackedWeightF32),
+    /// `u16` BF16 words.
+    Bf16(PackedWeightBf16),
+    /// Per-channel symmetric `i8` codes.
+    I8(PackedWeightI8),
+}
+
+impl PackedWeight {
+    /// Pack a `[n, k]` weight at full precision (see
+    /// [`PackedWeightF32::pack`] for the eligibility gate).
+    pub fn pack(w: &Tensor) -> Option<Self> {
+        PackedWeightF32::pack(w).map(PackedWeight::F32)
     }
 
-    /// Pack size in elements (for memory accounting).
+    /// Pack a `[n, k]` weight at the requested precision. The reduced
+    /// precisions gate on shape only (2-d, `n >= 8`) — their packs must
+    /// exist even under `ORBIT2_DISABLE_SIMD=1` so the scalar oracle sees
+    /// the same quantized values the vector kernel does.
+    pub fn pack_at(w: &Tensor, precision: WeightPrecision) -> Option<Self> {
+        match precision {
+            WeightPrecision::F32 => Self::pack(w),
+            WeightPrecision::Bf16 => PackedWeightBf16::pack(w).map(PackedWeight::Bf16),
+            WeightPrecision::Int8 => PackedWeightI8::pack(w).map(PackedWeight::I8),
+        }
+    }
+
+    /// The storage precision of this pack.
+    pub fn precision(&self) -> WeightPrecision {
+        match self {
+            PackedWeight::F32(_) => WeightPrecision::F32,
+            PackedWeight::Bf16(_) => WeightPrecision::Bf16,
+            PackedWeight::I8(_) => WeightPrecision::Int8,
+        }
+    }
+
+    /// Output features.
+    pub fn n(&self) -> usize {
+        match self {
+            PackedWeight::F32(p) => p.n,
+            PackedWeight::Bf16(p) => p.n(),
+            PackedWeight::I8(p) => p.n(),
+        }
+    }
+
+    /// Input features.
+    pub fn k(&self) -> usize {
+        match self {
+            PackedWeight::F32(p) => p.k,
+            PackedWeight::Bf16(p) => p.k(),
+            PackedWeight::I8(p) => p.k(),
+        }
+    }
+
+    /// Pack size in stored elements (words/codes, whatever the precision).
     pub fn len(&self) -> usize {
-        self.pack.len()
+        match self {
+            PackedWeight::F32(p) => p.pack.len(),
+            PackedWeight::Bf16(p) => p.len(),
+            PackedWeight::I8(p) => p.len(),
+        }
     }
 
     /// True when the pack holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.pack.is_empty()
+        self.len() == 0
+    }
+
+    /// The f32 weight tensor this pack computes with: `Some` for the
+    /// reduced precisions (rounded / reconstructed values — fallback paths
+    /// must use this tensor so every route sees the same weights), `None`
+    /// for f32 (the original tensor is already exact).
+    pub fn dequantized(&self) -> Option<Tensor> {
+        match self {
+            PackedWeight::F32(_) => None,
+            PackedWeight::Bf16(p) => Some(p.dequantized()),
+            PackedWeight::I8(p) => Some(p.dequantized()),
+        }
     }
 }
 
@@ -142,8 +252,17 @@ pub fn matmul_bias_act(
 /// Same kernel as [`matmul_bias_act`] with two inference-only differences:
 /// the `W^T` pack is taken from `packed` instead of being rebuilt per call,
 /// and no pre-activation is stored (there is no backward pass to feed).
-/// `packed` must have been produced by [`PackedWeight::pack`] on this same
-/// `w`; pass `None` to pack per call (or run unpacked when ineligible).
+/// `packed` must have been produced by [`PackedWeight::pack`] /
+/// [`PackedWeight::pack_at`] on this same `w`; pass `None` to pack per call
+/// (or run unpacked when ineligible).
+///
+/// **Reduced-precision contract:** when `packed` is a
+/// [`Bf16`](PackedWeight::Bf16) or [`I8`](PackedWeight::I8) pack, `w` must
+/// be the pack's [`dequantized`](PackedWeight::dequantized) tensor, so that
+/// shapes too small for the packed kernel (which fall back to the plain
+/// GEMM on `w`) compute with the same quantized values the kernel widens.
+/// [`InferenceSession`-style callers](PackedWeight) snapshot weights that
+/// way at prepare time.
 pub fn matmul_bias_act_cached(
     x: &Tensor,
     w: &Tensor,
@@ -176,10 +295,37 @@ fn matmul_bias_act_impl(
     let bd = bias.map(|b| b.data());
 
     if let Some(pw) = resident {
-        assert_eq!((pw.n, pw.k), (n, k), "resident pack shape mismatch for w {:?}", w.shape());
+        assert_eq!((pw.n(), pw.k()), (n, k), "resident pack shape mismatch for w {:?}", w.shape());
     }
+    let pre_needed = want_pre && act != Activation::Identity;
+
+    // Resident reduced-precision packs take the quantized kernel wholesale:
+    // it applies scale/bias/activation at store time, so the generic
+    // epilogue below never runs. Ineligible shapes (or a caller that needs
+    // the pre-activation) fall through to the generic path, where `w` — the
+    // dequantized weights by the caller contract of
+    // [`matmul_bias_act_cached`] — keeps the values consistent.
+    if !pre_needed && packed_eligible(m, k, n) {
+        match resident {
+            Some(PackedWeight::Bf16(pw)) => {
+                let mut out = pool::alloc_uninit(m * n);
+                qgemm::gemm_bf16_fused(xd, m, k, pw, bd, act, &mut out);
+                return (Tensor::from_vec(vec![m, n], out), None);
+            }
+            Some(PackedWeight::I8(pw)) => {
+                let mut out = pool::alloc_uninit(m * n);
+                qgemm::gemm_i8_fused(xd, m, k, pw, bd, act, &mut out);
+                return (Tensor::from_vec(vec![m, n], out), None);
+            }
+            _ => {}
+        }
+    }
+    let resident_f32 = match resident {
+        Some(PackedWeight::F32(pw)) => Some(pw),
+        _ => None,
+    };
     let mut out = pool::alloc_zeroed(m * n);
-    let mut pre = (want_pre && act != Activation::Identity).then(|| pool::alloc_uninit(m * n));
+    let mut pre = pre_needed.then(|| pool::alloc_uninit(m * n));
 
     // W^T is packed into microkernel strips once and shared read-only by
     // every row block — without the hoist each block's GEMM call would
@@ -188,10 +334,10 @@ fn matmul_bias_act_impl(
     // eligibility test is the same either way, so both routes take the
     // identical GEMM branch for any given shape.
     let packed = packed_eligible(m, k, n);
-    let owned = (packed && resident.is_none())
+    let owned = (packed && resident_f32.is_none())
         .then(|| pack_b_full(wd, MatLayout::transposed(k), k, n));
     let bpack: Option<&[f32]> = if packed {
-        match resident {
+        match resident_f32 {
             Some(pw) => Some(&pw.pack),
             None => owned.as_deref(),
         }
@@ -498,6 +644,62 @@ mod tests {
             softmax_rows(&mut ss, k);
             assert_eq!(&ss[..ra * k], &sa[..], "softmax rows ({ra},{rb})");
             assert_eq!(&ss[ra * k..], &sb[..], "softmax rows ({ra},{rb})");
+        }
+    }
+
+    #[test]
+    fn quantized_cached_path_matches_dequantized_reference() {
+        // A reduced-precision pack plus its dequantized tensor must compute
+        // the same function as the plain fused linear on that dequantized
+        // tensor, within kernel reordering tolerance — and for shapes below
+        // the packed-eligibility gate the fallback runs on `w` itself, so
+        // the values agree exactly by construction.
+        for &(m, k, n) in &[(2usize, 3usize, 16usize), (9, 40, 48), (72, 64, 64)] {
+            let x = randn(&[m, k], 51);
+            let w = randn(&[n, k], 52);
+            let b = randn(&[n], 53);
+            for prec in [WeightPrecision::Bf16, WeightPrecision::Int8] {
+                let packed = PackedWeight::pack_at(&w, prec).unwrap();
+                assert_eq!(packed.precision(), prec);
+                let dq = packed.dequantized().unwrap();
+                for act in [Activation::Identity, Activation::Gelu] {
+                    let y = matmul_bias_act_cached(&x, &dq, Some(&packed), Some(&b), act);
+                    let (y_ref, _) = matmul_bias_act(&x, &dq, Some(&b), act);
+                    y.assert_close(&y_ref, 2e-4 * (k as f32).sqrt());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_row_stacking_is_bitwise_invariant() {
+        // The microbatching contract must hold for reduced-precision packs
+        // too: each output row depends on its input row alone.
+        let (k, n) = (48usize, 64usize);
+        let w = randn(&[n, k], 81);
+        let b = randn(&[n], 82);
+        for prec in [WeightPrecision::Bf16, WeightPrecision::Int8] {
+            let packed = PackedWeight::pack_at(&w, prec).unwrap();
+            let dq = packed.dequantized().unwrap();
+            for &(ra, rb) in &[(5usize, 9usize), (7, 70), (64, 128)] {
+                let xa = randn(&[ra, k], 83);
+                let xb = randn(&[rb, k], 84);
+                let stacked = Tensor::stack_rows(&[&xa, &xb]);
+                let branch_stable = crate::matmul::packed_eligible(ra, k, n)
+                    == crate::matmul::packed_eligible(ra + rb, k, n)
+                    && crate::matmul::packed_eligible(rb, k, n)
+                        == crate::matmul::packed_eligible(ra + rb, k, n);
+                if !branch_stable {
+                    continue;
+                }
+                let ya = matmul_bias_act_cached(&xa, &dq, Some(&packed), Some(&b), Activation::Gelu);
+                let yb = matmul_bias_act_cached(&xb, &dq, Some(&packed), Some(&b), Activation::Gelu);
+                let ys =
+                    matmul_bias_act_cached(&stacked, &dq, Some(&packed), Some(&b), Activation::Gelu);
+                let parts = ys.split_rows(&[ra, rb]);
+                assert_eq!(parts[0].data(), ya.data(), "{prec:?} rows ({ra},{rb})");
+                assert_eq!(parts[1].data(), yb.data(), "{prec:?} rows ({ra},{rb})");
+            }
         }
     }
 

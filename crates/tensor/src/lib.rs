@@ -34,6 +34,7 @@ pub mod fused;
 pub mod matmul;
 pub mod ops;
 pub mod pool;
+pub mod qgemm;
 pub mod random;
 pub mod resize;
 pub mod shape;
@@ -41,8 +42,9 @@ pub mod simd;
 pub mod tensor;
 
 pub use attention::{flash_attention, naive_attention, AttentionConfig};
-pub use bf16::{bf16_round, Bf16Mode};
-pub use fused::{matmul_bias_act, Activation};
+pub use bf16::{bf16_round, bf16_to_f32, f32_to_bf16, Bf16Mode};
+pub use fused::{matmul_bias_act, Activation, PackedWeight, WeightPrecision};
+pub use qgemm::{PackedWeightBf16, PackedWeightI8};
 pub use matmul::MatLayout;
 pub use pool::{Buffer, PoolStats};
 pub use shape::{broadcast_shapes, strides_for, Shape, ShapeHandle};

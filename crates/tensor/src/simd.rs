@@ -146,6 +146,104 @@ impl F32x8 {
     }
 }
 
+/// Lane count of [`F32x16`].
+pub const LANES16: usize = 16;
+
+/// Sixteen `f32` lanes with elementwise arithmetic — one AVX-512 `zmm`
+/// register on targets that have it, a pair of `ymm` ops elsewhere.
+///
+/// Used by the reduced-precision GEMM microkernel ([`crate::qgemm`]), whose
+/// register blocking is sized around 512-bit accumulators. Note that LLVM's
+/// `target-cpu=native` tuning on some server parts *prefers* splitting
+/// 512-bit ops into 256-bit pairs; `.cargo/config.toml` disables that
+/// preference so this type actually lowers to `zmm` arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(64))]
+pub struct F32x16([f32; LANES16]);
+
+#[allow(clippy::should_implement_trait)]
+impl F32x16 {
+    /// All lanes zero.
+    pub const ZERO: F32x16 = F32x16([0.0; LANES16]);
+
+    /// Broadcast one value into every lane.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        F32x16([v; LANES16])
+    }
+
+    /// Load the first sixteen elements of `src`.
+    ///
+    /// # Panics
+    /// Panics when `src` has fewer than sixteen elements.
+    #[inline(always)]
+    pub fn load(src: &[f32]) -> Self {
+        let chunk: &[f32; LANES16] =
+            src[..LANES16].try_into().expect("F32x16::load needs 16 elements");
+        F32x16(*chunk)
+    }
+
+    /// Store the lanes into the first sixteen elements of `dst`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f32]) {
+        dst[..LANES16].copy_from_slice(&self.0);
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; LANES16] {
+        self.0
+    }
+
+    /// Lanewise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x += y;
+        }
+        F32x16(r)
+    }
+
+    /// Lanewise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x *= y;
+        }
+        F32x16(r)
+    }
+
+    /// Lanewise fused multiply-add: `self * m + a` (same FMA gating rules as
+    /// [`F32x8::mul_add`]).
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        if cfg!(target_feature = "fma") {
+            let mut r = self.0;
+            for ((x, y), z) in r.iter_mut().zip(&m.0).zip(&a.0) {
+                *x = x.mul_add(*y, *z);
+            }
+            F32x16(r)
+        } else {
+            self.mul(m).add(a)
+        }
+    }
+}
+
+/// `a * b + acc` with the same rounding behavior the vector kernels get:
+/// a true fused multiply-add when the target has one, separate multiply and
+/// add otherwise. Scalar oracles accumulate through this so their per-element
+/// chains are bit-identical to the lane arithmetic of [`F32x8`]/[`F32x16`].
+#[inline(always)]
+pub fn fma(a: f32, b: f32, acc: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        a * b + acc
+    }
+}
+
 /// Dot product of two equal-length slices.
 ///
 /// Four independent 8-lane accumulators hide FMA latency; the tail is
@@ -263,6 +361,28 @@ pub fn max_value(src: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn f32x16_lanes_roundtrip_and_arithmetic() {
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let a = F32x16::load(&src);
+        let mut dst = [0.0f32; 16];
+        a.store(&mut dst);
+        assert_eq!(&dst[..], &src[..]);
+        assert_eq!(a.to_array()[15], 15.0);
+        let b = F32x16::splat(2.0);
+        assert_eq!(a.add(b).to_array()[0], 2.0);
+        assert_eq!(a.mul(b).to_array()[15], 30.0);
+        assert_eq!(a.mul_add(b, b).to_array()[3], 8.0);
+    }
+
+    #[test]
+    fn scalar_fma_matches_lane_mul_add() {
+        for &(a, b, c) in &[(1.5f32, 2.25f32, 0.125f32), (-3.7, 0.3, 9.1), (1e-20, 1e-20, 1.0)] {
+            let lane = F32x8::splat(a).mul_add(F32x8::splat(b), F32x8::splat(c)).to_array()[0];
+            assert_eq!(fma(a, b, c).to_bits(), lane.to_bits());
+        }
+    }
 
     #[test]
     fn splat_load_store_roundtrip() {

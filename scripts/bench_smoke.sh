@@ -3,9 +3,10 @@
 # benches twice — with the thread-local buffer pool enabled (default) and
 # disabled (ORBIT2_DISABLE_POOL=1) — and append a summary record to
 # BENCH_kernels.json so pooled-vs-unpooled deltas are tracked over time.
-# Then run the inference bench (tape vs tape-free forward, whole-sample and
-# 2x2 tiled) into BENCH_inference.json, and the serving bench (open-loop
-# load, microbatched vs unbatched) into BENCH_serving.json.
+# Then run the inference bench (tape vs tape-free forward, whole-sample,
+# 2x2 tiled, and reduced-precision sessions) into BENCH_inference.json,
+# and the serving bench (open-loop load, microbatched vs unbatched, plus
+# f32/bf16/int8 default-precision cells at c=16) into BENCH_serving.json.
 #
 # Snapshots are deduped by revision: re-running on the same commit replaces
 # that commit's record instead of appending a duplicate, so each BENCH file
@@ -82,6 +83,18 @@ jq -r '
     | "fused_vs_unfused_linear_gelu/\($n)\tfused \($f[$n]) ns\tunfused \($u[$n]) ns\tspeedup \(($u[$n] / $f[$n] * 100 | round) / 100)x"
 ' "$OUT_JSON"
 
+# Reduced-precision GEMM delta: the bf16/int8 packed kernels vs the f32
+# packed baseline (pool-enabled run) — the speedup the serving
+# `--precision` flag buys per GEMM call.
+jq -r '
+    .[-1].runs[0].results
+    | (map(select(.bench | startswith("gemm_f32/"))) | map({(.bench | split("/")[1]): .median_ns}) | add // {}) as $f
+    | (map(select(.bench | startswith("gemm_bf16/"))) | map({(.bench | split("/")[1]): .median_ns}) | add // {}) as $b
+    | (map(select(.bench | startswith("gemm_int8/"))) | map({(.bench | split("/")[1]): .median_ns}) | add // {}) as $q
+    | $f | keys[] | . as $n
+    | "gemm_precision/\($n)\tf32 \($f[$n]) ns\tbf16 \($b[$n]) ns (\(($f[$n] / $b[$n] * 100 | round) / 100)x)\tint8 \($q[$n]) ns (\(($f[$n] / $q[$n] * 100 | round) / 100)x)"
+' "$OUT_JSON"
+
 echo "== bench smoke: tape vs tape-free inference =="
 infer_log="$(cargo bench -p orbit2-bench --bench inference "$@" 2>&1)" || {
     echo "bench inference failed:" >&2
@@ -132,4 +145,13 @@ jq -r '
     | (map(select(.bench | test("/unbatched/"))) | map({(.bench | split("/")[2]): .}) | add // {}) as $u
     | $b | keys[] | . as $c
     | "serving/\($c)\tbatched \($b[$c].rps) req/s (p99 \($b[$c].p99_us) us)\tunbatched \($u[$c].rps) req/s (p99 \($u[$c].p99_us) us)\tspeedup \(($b[$c].rps / $u[$c].rps * 100 | round) / 100)x"
+' "$SERVE_JSON"
+
+# Per-precision serving throughput at c=16 (126M model, unbatched): the
+# f32 server vs the reduced-precision default servers under the same load.
+jq -r '
+    .[-1].results
+    | (map(select(.bench == "serving/f32/c16")) | first) as $f
+    | map(select(.bench == "serving/bf16/c16" or .bench == "serving/int8/c16"))[]
+    | "\(.bench)\t\(.rps) req/s (p99 \(.p99_us) us)\tvs f32 \($f.rps) req/s\tspeedup \((.rps / $f.rps * 100 | round) / 100)x"
 ' "$SERVE_JSON"

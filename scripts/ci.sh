@@ -10,12 +10,20 @@
 #   4. clippy lint gate (scripts/lint.sh: -D warnings -D unsafe_code)
 #   5. chaos suite (scripts/chaos_smoke.sh: fault injection + recovery,
 #      both SIMD modes)
-#   6. bench regression check (scripts/bench_check.sh) — NON-BLOCKING by
-#      default: benchmark medians on shared CI hardware are noisy, so a
-#      >30% regression prints a prominent warning instead of failing the
-#      pipeline. Opt into hard failure with ORBIT2_BENCH_CHECK_STRICT=1;
-#      widen the tolerance with ORBIT2_BENCH_TOLERANCE_PCT=<pct>
-#      (see scripts/bench_check.sh).
+#   6. reduced-precision quality gate (crates/core/tests/precision_gate.rs):
+#      bf16/int8 sessions must reproduce the f32 Table IV metrics within
+#      tolerance. Runs in release so it exercises the packed kernels.
+#   7. bench regression check (scripts/bench_check.sh), split by file:
+#      BENCH_kernels.json is STRICT — a >50% median regression fails the
+#      pipeline. 50% sits above the measured noise floor of this box's
+#      sub-millisecond rows (successive full runs under load swing a
+#      random small bench by ±30-35%) while still catching real kernel
+#      regressions, which historically land at 2x+ (e.g. an accumulator
+#      spill). Set ORBIT2_BENCH_CHECK_STRICT=0 to demote to a warning,
+#      ORBIT2_BENCH_TOLERANCE_PCT_KERNELS=<pct> to accept a deliberate
+#      slowdown. The inference/serving files stay NON-BLOCKING: open-loop
+#      load numbers on shared CI hardware are too noisy to gate on, so a
+#      regression there prints a prominent warning instead.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -42,17 +50,37 @@ scripts/lint.sh
 step "chaos suite"
 scripts/chaos_smoke.sh
 
-step "bench regression check (non-blocking unless ORBIT2_BENCH_CHECK_STRICT=1)"
-if scripts/bench_check.sh; then
-    :
-elif [[ "${ORBIT2_BENCH_CHECK_STRICT:-0}" == "1" ]]; then
-    echo "ci: bench regression check FAILED (strict mode)" >&2
-    exit 1
+step "reduced-precision quality gate (bf16/int8 vs f32 metrics)"
+cargo test --release -q -p orbit2 --test precision_gate
+
+step "bench regression check: kernels (STRICT unless ORBIT2_BENCH_CHECK_STRICT=0)"
+# Default tolerance 50%: above the ±30-35% run-to-run noise of the sub-ms
+# rows on this 1-core box, below the 2x+ of any real kernel regression.
+export ORBIT2_BENCH_TOLERANCE_PCT_KERNELS="${ORBIT2_BENCH_TOLERANCE_PCT_KERNELS:-50}"
+if [[ -e BENCH_kernels.json ]]; then
+    if scripts/bench_check.sh BENCH_kernels.json; then
+        :
+    elif [[ "${ORBIT2_BENCH_CHECK_STRICT:-1}" == "1" ]]; then
+        echo "ci: kernel bench regression check FAILED (strict)" >&2
+        echo "ci: widen with ORBIT2_BENCH_TOLERANCE_PCT_KERNELS=<pct> for a deliberate slowdown." >&2
+        exit 1
+    else
+        echo "ci: WARNING: kernel bench medians regressed beyond tolerance (see above)." >&2
+    fi
 else
+    echo "ci: BENCH_kernels.json not present, skipping kernel bench gate"
+fi
+
+step "bench regression check: inference + serving (advisory)"
+advisory=()
+for f in BENCH_inference.json BENCH_serving.json; do
+    [[ -e "$f" ]] && advisory+=("$f")
+done
+if (( ${#advisory[@]} > 0 )) && ! scripts/bench_check.sh "${advisory[@]}"; then
     echo
-    echo "ci: WARNING: bench medians regressed beyond tolerance (see above)." >&2
-    echo "ci: non-blocking by default; set ORBIT2_BENCH_CHECK_STRICT=1 to enforce," >&2
-    echo "ci: or ORBIT2_BENCH_TOLERANCE_PCT=<pct> to accept a deliberate slowdown." >&2
+    echo "ci: WARNING: inference/serving bench medians regressed beyond tolerance (see above)." >&2
+    echo "ci: these files are advisory — open-loop load numbers are noisy on shared hardware." >&2
+    echo "ci: widen a single file with ORBIT2_BENCH_TOLERANCE_PCT_SERVING=<pct> etc." >&2
 fi
 
 echo
