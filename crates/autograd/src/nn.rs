@@ -146,8 +146,10 @@ impl<'t> Var<'t> {
     /// Pool rows of a 2-d var into groups by averaging: `out[i] = mean of
     /// self[j] for j in groups[i]`. The decompression adjoint scatters the
     /// gradient back uniformly. This is the quad-tree token pooling of
-    /// Reslim's adaptive spatial compression.
-    pub fn pool_rows(&self, groups: Vec<Vec<usize>>) -> Var<'t> {
+    /// Reslim's adaptive spatial compression. The groups arrive `Arc`-shared
+    /// (built once per compression plan) and the backward closure holds a
+    /// pointer clone, not a deep copy.
+    pub fn pool_rows(&self, groups: std::sync::Arc<[Vec<usize>]>) -> Var<'t> {
         let v = self.value();
         let (rows, cols) = (v.shape()[0], v.shape()[1]);
         let y = v.pool_rows(&groups);
@@ -175,7 +177,7 @@ impl<'t> Var<'t> {
     /// Unpool grouped rows back to the original token set: `out[j] =
     /// self[i]` for every `j in groups[i]` (the inverse scatter of
     /// [`Var::pool_rows`], used by the decompression stage).
-    pub fn unpool_rows(&self, groups: Vec<Vec<usize>>, total_rows: usize) -> Var<'t> {
+    pub fn unpool_rows(&self, groups: std::sync::Arc<[Vec<usize>]>, total_rows: usize) -> Var<'t> {
         let v = self.value();
         let cols = v.shape()[1];
         let y = v.unpool_rows(&groups, total_rows);
@@ -378,7 +380,8 @@ mod tests {
 
     #[test]
     fn pool_unpool_grads_match_fd() {
-        let groups = vec![vec![0, 1], vec![2], vec![3, 4, 5]];
+        let groups: std::sync::Arc<[Vec<usize>]> =
+            vec![vec![0, 1], vec![2], vec![3, 4, 5]].into();
         check_gradients(
             &[vec![6, 3]],
             move |_t, v| {
@@ -394,7 +397,7 @@ mod tests {
     fn pool_rows_averages() {
         let tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![4, 1], vec![1.0, 3.0, 10.0, 20.0]));
-        let y = x.pool_rows(vec![vec![0, 1], vec![2, 3]]);
+        let y = x.pool_rows(vec![vec![0, 1], vec![2, 3]].into());
         assert_eq!(y.value().data(), &[2.0, 15.0]);
     }
 
@@ -402,7 +405,7 @@ mod tests {
     fn unpool_broadcasts_group_value() {
         let tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![2, 1], vec![5.0, 9.0]));
-        let y = x.unpool_rows(vec![vec![0, 2], vec![1]], 3);
+        let y = x.unpool_rows(vec![vec![0, 2], vec![1]].into(), 3);
         assert_eq!(y.value().data(), &[5.0, 9.0, 5.0]);
     }
 }

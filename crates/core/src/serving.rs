@@ -9,7 +9,7 @@
 //! default instead of erroring, which the derive shim cannot express.
 
 use crate::inference::InferenceError;
-use orbit2_tensor::fused::WeightPrecision;
+use orbit2_tensor::fused::{ActivationPrecision, WeightPrecision};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -51,6 +51,12 @@ pub struct ServeRequest {
     /// the response-cache identity: a bf16 answer is never returned for an
     /// f32 request.
     pub precision: Option<WeightPrecision>,
+    /// Activation precision to stream this request's forward pass at;
+    /// `None` defers to the server's configured default. Like the weight
+    /// precision, the *effective* activation precision is part of both the
+    /// response-cache identity and the batch key — tiles only cobatch with
+    /// tiles of the same (weight, activation) cell.
+    pub activation: Option<ActivationPrecision>,
 }
 
 impl ServeRequest {
@@ -62,6 +68,7 @@ impl ServeRequest {
             compression: 1.0,
             variables: None,
             precision: None,
+            activation: None,
         }
     }
 
@@ -73,12 +80,20 @@ impl ServeRequest {
             compression: 1.0,
             variables: None,
             precision: None,
+            activation: None,
         }
     }
 
     /// Builder-style explicit precision (overrides the server default).
     pub fn at_precision(mut self, precision: WeightPrecision) -> Self {
         self.precision = Some(precision);
+        self
+    }
+
+    /// Builder-style explicit activation precision (overrides the server
+    /// default).
+    pub fn at_activation(mut self, activation: ActivationPrecision) -> Self {
+        self.activation = Some(activation);
         self
     }
 }
@@ -103,6 +118,9 @@ impl Serialize for ServeRequest {
         }
         if let Some(p) = self.precision {
             m.insert("precision".into(), p.label().serialize_value());
+        }
+        if let Some(a) = self.activation {
+            m.insert("activation".into(), a.label().serialize_value());
         }
         Value::Object(m)
     }
@@ -152,7 +170,18 @@ impl Deserialize for ServeRequest {
             }
             None => None,
         };
-        Ok(Self { id, source, compression, variables, precision })
+        let activation = match obj.get("activation") {
+            Some(a) => {
+                let label = String::deserialize_value(a)?;
+                Some(ActivationPrecision::parse(&label).ok_or_else(|| {
+                    SerdeError::new(format!(
+                        "unknown activation precision {label:?} (expected f32 or bf16)"
+                    ))
+                })?)
+            }
+            None => None,
+        };
+        Ok(Self { id, source, compression, variables, precision, activation })
     }
 }
 
@@ -174,12 +203,16 @@ pub struct ServeResponse {
     pub micros: u64,
 }
 
-/// Reply to a `{"cmd": "stats"}` control line: response-cache counters and
-/// per-precision request counts since server start.
+/// Reply to a `{"cmd": "stats"}` control line: response-cache counters,
+/// per-precision request counts since server start, and the process-wide
+/// buffer-pool telemetry (how often activation buffers were recycled vs
+/// freshly allocated).
 ///
 /// Flat named fields rather than a map keep the derive-shim serialization
 /// stable and the reply greppable; counters are cumulative and only the
-/// entry count can shrink (on eviction).
+/// entry count can shrink (on eviction). The pool counters are process
+/// globals (they also tick during model warmup and cache stitching), so
+/// consumers should diff snapshots rather than read absolutes.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Responses answered from the LRU cache.
@@ -194,15 +227,30 @@ pub struct ServeStats {
     pub requests_bf16: u64,
     /// Completed requests served at int8 weights.
     pub requests_int8: u64,
+    /// Completed requests whose forward pass streamed f32 activations.
+    pub requests_act_f32: u64,
+    /// Completed requests whose forward pass streamed bf16 activations.
+    pub requests_act_bf16: u64,
+    /// Buffer-pool fresh heap allocations (pool miss or oversized request).
+    pub pool_fresh_allocs: u64,
+    /// Buffer-pool buffers recycled from the free list.
+    pub pool_reuses: u64,
+    /// Copy-on-write copies of still-shared pooled buffers.
+    pub pool_copies: u64,
 }
 
 impl ServeStats {
-    /// Count one completed request at `precision`.
-    pub fn record(&mut self, precision: WeightPrecision) {
+    /// Count one completed request at `precision` weights streaming
+    /// `activation` activations.
+    pub fn record(&mut self, precision: WeightPrecision, activation: ActivationPrecision) {
         match precision {
             WeightPrecision::F32 => self.requests_f32 += 1,
             WeightPrecision::Bf16 => self.requests_bf16 += 1,
             WeightPrecision::Int8 => self.requests_int8 += 1,
+        }
+        match activation {
+            ActivationPrecision::F32 => self.requests_act_f32 += 1,
+            ActivationPrecision::Bf16 => self.requests_act_bf16 += 1,
         }
     }
 
@@ -212,6 +260,14 @@ impl ServeStats {
             WeightPrecision::F32 => self.requests_f32,
             WeightPrecision::Bf16 => self.requests_bf16,
             WeightPrecision::Int8 => self.requests_int8,
+        }
+    }
+
+    /// The request counter for `activation`.
+    pub fn requests_at_activation(&self, activation: ActivationPrecision) -> u64 {
+        match activation {
+            ActivationPrecision::F32 => self.requests_act_f32,
+            ActivationPrecision::Bf16 => self.requests_act_bf16,
         }
     }
 }
@@ -380,16 +436,43 @@ mod tests {
     #[test]
     fn stats_roundtrip_and_counters() {
         let mut stats = ServeStats::default();
-        stats.record(WeightPrecision::Bf16);
-        stats.record(WeightPrecision::Bf16);
-        stats.record(WeightPrecision::Int8);
+        stats.record(WeightPrecision::Bf16, ActivationPrecision::Bf16);
+        stats.record(WeightPrecision::Bf16, ActivationPrecision::F32);
+        stats.record(WeightPrecision::Int8, ActivationPrecision::F32);
         stats.cache_hits = 5;
         stats.cache_entries = 2;
+        stats.pool_reuses = 7;
         assert_eq!(stats.requests_at(WeightPrecision::Bf16), 2);
         assert_eq!(stats.requests_at(WeightPrecision::F32), 0);
+        assert_eq!(stats.requests_at_activation(ActivationPrecision::Bf16), 1);
+        assert_eq!(stats.requests_at_activation(ActivationPrecision::F32), 2);
         let line = serde_json::to_string(&stats).unwrap();
+        assert!(line.contains("pool_reuses"), "{line}");
         let back: ServeStats = serde_json::from_str(&line).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn request_activation_roundtrips_and_defaults() {
+        let req = ServeRequest::region(3, "conus", 1).at_activation(ActivationPrecision::Bf16);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains(r#""activation":"bf16""#), "{line}");
+        let back: ServeRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        // Absent field means "server default" and is not emitted on the
+        // wire (pre-activation clients and servers interoperate unchanged).
+        let default_req = ServeRequest::region(3, "conus", 1);
+        assert!(!serde_json::to_string(&default_req).unwrap().contains("activation"));
+        let old: ServeRequest = serde_json::from_str(r#"{"id": 3, "region": "conus"}"#).unwrap();
+        assert_eq!(old.activation, None);
+        // An explicit f32 *is* emitted (it must override a reduced default);
+        // garbage is a hard error.
+        let f32_req = ServeRequest::region(3, "conus", 1).at_activation(ActivationPrecision::F32);
+        assert!(serde_json::to_string(&f32_req).unwrap().contains(r#""activation":"f32""#));
+        assert!(serde_json::from_str::<ServeRequest>(
+            r#"{"id": 1, "region": "x", "activation": "int8"}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -23,12 +23,20 @@
 //! it for every linear layer and falls back to per-sample dispatch on a
 //! mismatch (only reachable for degenerately tiny shapes).
 //! `tests/serve_batching.rs` property-tests the contract.
+//!
+//! The contract covers bf16-activation sessions too: every value-changing
+//! op here goes through the session's [`Exec`] methods (wrapping stacked
+//! tensors back into session values where needed), so the batched pass
+//! narrows its intermediates at exactly the op boundaries the per-sample
+//! pass does. Re-wrapping an op *output* via [`Exec::constant`] is lossless
+//! — the data is already bf16-valued — while raw-tensor shortcuts around
+//! a session op would skip a rounding step and break the contract.
 
 use crate::compress::{token_saliency, CompressionPlan};
 use crate::config::ModelConfig;
 use crate::embed::{patchify_plane, resolution_row, sincos_positions, unpatchify_permutation};
-use crate::exec::Exec;
-use crate::infer::InferenceSession;
+use crate::exec::{Exec, RowGroups};
+use crate::infer::{InferenceSession, SessionValue};
 use crate::paths::path_hidden;
 use crate::reslim::ReslimModel;
 use orbit2_tensor::conv::ConvGeom;
@@ -134,37 +142,39 @@ fn xattn_stacked(
     let d = cfg.embed_dim;
     let c = tokens.len();
     let rows = tokens[0].rows.clone();
-    let mut sum = tokens[0].stacked.clone();
+    let mut sum = session.constant(tokens[0].stacked.clone());
     for t in &tokens[1..] {
-        sum = sum.add(&t.stacked);
+        sum = session.add(&sum, &session.constant(t.stacked.clone()));
     }
-    let mean = BatchStack::uniform(sum.mul_scalar(1.0 / c as f32), rows.clone());
+    let mean =
+        BatchStack::uniform(session.scale(&sum, 1.0 / c as f32).into_tensor(), rows.clone());
     let q = linear_stacked(session, &mean, "xattn.wq", None, Activation::Identity);
+    let qv = session.constant(q.stacked);
     let scale = 1.0 / (d as f32).sqrt();
-    let ones = Tensor::ones(vec![d, 1]);
+    let ones = session.constant(Tensor::ones(vec![d, 1]));
     let mut scores = Vec::with_capacity(c);
     let mut values = Vec::with_capacity(c);
     for t in tokens {
         let k = linear_stacked(session, t, "xattn.wk", None, Activation::Identity);
         values.push(linear_stacked(session, t, "xattn.wv", None, Activation::Identity));
+        let kv = session.constant(k.stacked.clone());
         // Row-wise dot q·k via the ones matvec: n = 1 < LANES, so the GEMM
         // branch is row-count independent (never packed).
-        scores.push(q.stacked.mul(&k.stacked).matmul(&ones).mul_scalar(scale));
+        scores.push(session.scale(&session.matmul(&session.mul(&qv, &kv), &ones), scale));
     }
-    let score_refs: Vec<&Tensor> = scores.iter().collect();
-    let probs = Tensor::concat(&score_refs, 1).softmax_last(); // [R, C]
-    let mut out: Option<Tensor> = None;
+    let probs = session.softmax_last(&session.concat(&scores, 1)); // [R, C]
+    let mut out: Option<SessionValue> = None;
     for (ci, v) in values.iter().enumerate() {
-        let p = probs.slice_axis(1, ci, 1); // [R, 1] broadcasts over D
-        let term = p.mul(&v.stacked);
+        let p = session.slice_axis(&probs, 1, ci, 1); // [R, 1] broadcasts over D
+        let term = session.mul(&p, &session.constant(v.stacked.clone()));
         out = Some(match out {
-            Some(acc) => acc.add(&term),
+            Some(acc) => session.add(&acc, &term),
             None => term,
         });
     }
     linear_stacked(
         session,
-        &BatchStack::uniform(out.unwrap(), rows),
+        &BatchStack::uniform(out.unwrap().into_tensor(), rows),
         "xattn.wo",
         Some("xattn.bo"),
         Activation::Identity,
@@ -194,11 +204,12 @@ fn self_attention_stacked(
         let mut per_sample = Vec::with_capacity(b);
         for i in 0..b {
             let (o, r) = (x.offset(i), x.rows[i]);
-            let qi = qh.slice_axis(0, o, r);
-            let ki = kh.slice_axis(0, o, r);
-            let vi = vh.slice_axis(0, o, r);
-            let probs = qi.matmul_nt(&ki).mul_scalar(scale).softmax_last();
-            per_sample.push(probs.matmul(&vi));
+            let qi = session.constant(qh.slice_axis(0, o, r));
+            let ki = session.constant(kh.slice_axis(0, o, r));
+            let vi = session.constant(vh.slice_axis(0, o, r));
+            let probs =
+                session.softmax_last(&session.scale(&session.matmul_nt(&qi, &ki), scale));
+            per_sample.push(session.matmul(&probs, &vi).into_tensor());
         }
         let refs: Vec<&Tensor> = per_sample.iter().collect();
         heads.push(Tensor::stack_rows(&refs));
@@ -223,7 +234,10 @@ fn transformer_block_stacked(
 ) -> BatchStack {
     let n1 = layer_norm_stacked(session, x, &format!("{prefix}.ln1.g"), &format!("{prefix}.ln1.b"));
     let attn = self_attention_stacked(session, cfg, prefix, &n1);
-    let x = BatchStack::uniform(x.stacked.add(&attn.stacked), x.rows.clone());
+    let res1 = session
+        .add(&session.constant(x.stacked.clone()), &session.constant(attn.stacked))
+        .into_tensor();
+    let x = BatchStack::uniform(res1, x.rows.clone());
     let n2 = layer_norm_stacked(session, &x, &format!("{prefix}.ln2.g"), &format!("{prefix}.ln2.b"));
     let h = linear_stacked(
         session,
@@ -239,7 +253,10 @@ fn transformer_block_stacked(
         Some(&format!("{prefix}.mlp.b2")),
         Activation::Identity,
     );
-    BatchStack::uniform(x.stacked.add(&m.stacked), x.rows)
+    let res2 = session
+        .add(&session.constant(x.stacked.clone()), &session.constant(m.stacked))
+        .into_tensor();
+    BatchStack::uniform(res2, x.rows)
 }
 
 /// Decode one sample's full token grid to the high-resolution image
@@ -251,7 +268,7 @@ fn decode_tail(
     projected: &Tensor,
     hp: usize,
     wp: usize,
-) -> Tensor {
+) -> SessionValue {
     let p = cfg.patch;
     let (h, w) = (hp * p, wp * p);
     let hidden = path_hidden(cfg);
@@ -262,7 +279,7 @@ fn decode_tail(
         .gather_rows(&perm)
         .reshape(vec![1, hidden, h, w]);
     let up = session.resize_bilinear(
-        &session.constant(img.gelu()),
+        &session.gelu(&session.constant(img)),
         h * cfg.scale_factor,
         w * cfg.scale_factor,
     );
@@ -273,12 +290,12 @@ fn decode_tail(
         ConvGeom::same(3),
     );
     let (oh, ow) = (h * cfg.scale_factor, w * cfg.scale_factor);
-    out.into_tensor().into_reshape(vec![cfg.out_channels, oh, ow])
+    session.reshape(&out, vec![cfg.out_channels, oh, ow])
 }
 
 /// Per-sample residual path (convolutional; mirror of
 /// [`crate::paths::residual_path`]).
-fn residual_sample(session: &InferenceSession, cfg: &ModelConfig, input: &Tensor) -> Tensor {
+fn residual_sample(session: &InferenceSession, cfg: &ModelConfig, input: &Tensor) -> SessionValue {
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let x = session.constant(input.reshape(vec![1, c, h, w]));
     let hid = session.gelu(&session.conv2d(
@@ -294,8 +311,7 @@ fn residual_sample(session: &InferenceSession, cfg: &ModelConfig, input: &Tensor
         Some(&session.param("res.conv2.b")),
         ConvGeom::same(3),
     );
-    out.into_tensor()
-        .into_reshape(vec![cfg.out_channels, h * cfg.scale_factor, w * cfg.scale_factor])
+    session.reshape(&out, vec![cfg.out_channels, h * cfg.scale_factor, w * cfg.scale_factor])
 }
 
 /// Run the Reslim forward over a batch of same-shaped `[C_in, h, w]`
@@ -336,11 +352,10 @@ pub fn forward_batch(
                 .collect();
             let stack = BatchStack::from_parts(&patches);
             let tok = linear_stacked(session, &stack, "embed.w", Some("embed.b"), Activation::Identity);
-            let ve = session
-                .param("embed.var")
-                .tensor()
-                .slice_axis(0, ci, 1); // [1, D] broadcasts over all rows
-            BatchStack::uniform(tok.stacked.add(&ve), tok.rows)
+            // [1, D] broadcasts over all rows.
+            let ve = session.slice_axis(&session.param("embed.var"), 0, ci, 1);
+            let tokv = session.constant(tok.stacked.clone());
+            BatchStack::uniform(session.add(&tokv, &ve).into_tensor(), tok.rows)
         })
         .collect();
 
@@ -362,12 +377,14 @@ pub fn forward_batch(
     // Step 3: positional + resolution embeddings (tiled across the batch).
     let pos = sincos_positions(hp, wp, cfg.embed_dim);
     let pos_refs: Vec<&Tensor> = (0..b).map(|_| &pos).collect();
-    let pos_stack = Tensor::stack_rows(&pos_refs);
-    let res_row = session
-        .param("embed.res")
-        .tensor()
-        .slice_axis(0, resolution_row(cfg.scale_factor), 1);
-    agg = BatchStack::uniform(agg.stacked.add(&pos_stack).add(&res_row), agg.rows);
+    let pos_stack = session.constant(Tensor::stack_rows(&pos_refs));
+    let res_row =
+        session.slice_axis(&session.param("embed.res"), 0, resolution_row(cfg.scale_factor), 1);
+    let aggv = session.constant(agg.stacked.clone());
+    agg = BatchStack::uniform(
+        session.add(&session.add(&aggv, &pos_stack), &res_row).into_tensor(),
+        agg.rows,
+    );
 
     // Step 4: compress — merge the per-sample group lists into one pooled
     // call by offsetting token indices into the stack.
@@ -375,12 +392,14 @@ pub fn forward_batch(
     let mut z_rows = Vec::with_capacity(b);
     for (i, plan) in plans.iter().enumerate() {
         let base = i * n_tok;
-        for g in &plan.groups {
+        for g in plan.groups.iter() {
             merged_groups.push(g.iter().map(|&t| t + base).collect());
         }
         z_rows.push(plan.compressed_len());
     }
-    let mut z = BatchStack::uniform(agg.stacked.pool_rows(&merged_groups), z_rows);
+    let merged: RowGroups = merged_groups.into();
+    let aggv = session.constant(agg.stacked);
+    let mut z = BatchStack::uniform(session.pool_rows(&aggv, &merged).into_tensor(), z_rows);
 
     // Step 5: ViT blocks on the (compressed, ragged) stack.
     for l in 0..cfg.layers {
@@ -389,8 +408,9 @@ pub fn forward_batch(
 
     // Step 6: decompress back to the full grids and decode. The decoder
     // projection is shared (batched); the image-space tail is per sample.
+    let zv = session.constant(z.stacked);
     let full = BatchStack::uniform(
-        z.stacked.unpool_rows(&merged_groups, b * n_tok),
+        session.unpool_rows(&zv, &merged, b * n_tok).into_tensor(),
         vec![n_tok; b],
     );
     let projected = linear_stacked(
@@ -408,7 +428,7 @@ pub fn forward_batch(
         .map(|((proj, input), plan)| {
             let main = decode_tail(session, cfg, &proj, hp, wp);
             let residual = residual_sample(session, cfg, input);
-            (main.add(&residual), plan)
+            (session.add(&main, &residual).into_tensor(), plan)
         })
         .collect()
 }
@@ -468,6 +488,40 @@ mod tests {
         let session = m.session();
         let smooth = Tensor::full(vec![4, 16, 16], 0.25);
         let noisy = randn(&[4, 16, 16], 9);
+        let batch = forward_batch(&m, &session, &[&smooth, &noisy], 2.0);
+        for (input, (pred, plan)) in [&smooth, &noisy].iter().zip(&batch) {
+            let (solo, solo_plan) = m.forward(&session, input, 2.0);
+            assert_eq!(pred.data(), solo.into_tensor().data());
+            assert_eq!(plan.compressed_len(), solo_plan.compressed_len());
+        }
+    }
+
+    #[test]
+    fn bf16_activation_batch_matches_per_sample_bitwise() {
+        use crate::infer::{SessionActivation, SessionPrecision};
+        // The bit-identity contract must hold when the session streams bf16
+        // activations: every stacked op narrows exactly where the
+        // per-sample ops do. Cover both an f32 and a bf16 weight set.
+        let m = model();
+        for wp in [SessionPrecision::F32, SessionPrecision::Bf16] {
+            let session = m.session_with(wp, SessionActivation::Bf16);
+            let inputs: Vec<Tensor> = (0..3).map(|i| randn(&[4, 8, 16], 200 + i)).collect();
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let batch = forward_batch(&m, &session, &refs, 1.0);
+            for (input, (pred, _)) in inputs.iter().zip(&batch) {
+                let (solo, _) = m.forward(&session, input, 1.0);
+                assert_eq!(pred.data(), solo.into_tensor().data(), "weights {wp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_activation_batch_matches_under_adaptive_compression() {
+        use crate::infer::{SessionActivation, SessionPrecision};
+        let m = model();
+        let session = m.session_with(SessionPrecision::Bf16, SessionActivation::Bf16);
+        let smooth = Tensor::full(vec![4, 16, 16], 0.25);
+        let noisy = randn(&[4, 16, 16], 31);
         let batch = forward_batch(&m, &session, &[&smooth, &noisy], 2.0);
         for (input, (pred, plan)) in [&smooth, &noisy].iter().zip(&batch) {
             let (solo, solo_plan) = m.forward(&session, input, 2.0);

@@ -8,7 +8,7 @@
 //! through the execution context ([`Exec::pool_rows`] / [`Exec::unpool_rows`]),
 //! so it is differentiable when training and tape-free at inference.
 
-use crate::exec::Exec;
+use crate::exec::{Exec, RowGroups};
 use orbit2_imaging::quadtree::{QuadTree, QuadTreeParams};
 use orbit2_tensor::Tensor;
 
@@ -16,8 +16,10 @@ use orbit2_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct CompressionPlan {
     /// For each kept (merged) token: the indices of the uniform-grid tokens
-    /// it pools.
-    pub groups: Vec<Vec<usize>>,
+    /// it pools. Shared (`Arc`) so every forward that replays the plan —
+    /// and the microbatcher that merges plans across samples — clones a
+    /// pointer, not the nested vectors.
+    pub groups: RowGroups,
     /// Token-grid height.
     pub hp: usize,
     /// Token-grid width.
@@ -29,7 +31,7 @@ impl CompressionPlan {
     /// the module "acts as an identity function").
     pub fn identity(hp: usize, wp: usize) -> Self {
         Self {
-            groups: (0..hp * wp).map(|i| vec![i]).collect(),
+            groups: (0..hp * wp).map(|i| vec![i]).collect::<Vec<_>>().into(),
             hp,
             wp,
         }
@@ -67,7 +69,7 @@ impl CompressionPlan {
             }
         }
         let (_, qt) = best.unwrap();
-        let groups = qt
+        let groups: Vec<Vec<usize>> = qt
             .patches
             .iter()
             .map(|p| {
@@ -80,7 +82,7 @@ impl CompressionPlan {
                 g
             })
             .collect();
-        Self { groups, hp, wp }
+        Self { groups: groups.into(), hp, wp }
     }
 
     /// Number of tokens after compression.
@@ -149,7 +151,7 @@ mod tests {
         assert!(plan.compressed_len() < 1024);
         // Groups must partition all tokens.
         let mut seen = vec![false; 1024];
-        for g in &plan.groups {
+        for g in plan.groups.iter() {
             for &i in g {
                 assert!(!seen[i], "token {i} in two groups");
                 seen[i] = true;
@@ -179,7 +181,7 @@ mod tests {
         let rec = plan.decompress(&binder, &plan.compress(&binder, &x)).value();
         // Within each group the reconstruction is the group's mean.
         let xv = x.value();
-        for g in &plan.groups {
+        for g in plan.groups.iter() {
             let mut mean = [0.0f32; 4];
             for &i in g {
                 for (m, &v) in mean.iter_mut().zip(&xv.data()[i * 4..(i + 1) * 4]) {

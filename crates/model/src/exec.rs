@@ -19,6 +19,15 @@ use orbit2_autograd::Var;
 use orbit2_tensor::conv::ConvGeom;
 use orbit2_tensor::fused::Activation;
 use orbit2_tensor::Tensor;
+use std::sync::Arc;
+
+/// Shared, immutable row-group list for token pool/unpool.
+///
+/// A [`crate::compress::CompressionPlan`] builds the groups once; every
+/// forward that replays the plan clones an `Arc` pointer instead of deep-
+/// copying the nested vectors (the tape impl used to `to_vec()` them on
+/// every call — measurable churn in steady-state serving).
+pub type RowGroups = Arc<[Vec<usize>]>;
 
 /// An execution context for model forward passes.
 ///
@@ -110,11 +119,10 @@ pub trait Exec {
     fn resize_bilinear(&self, x: &Self::Value, out_h: usize, out_w: usize) -> Self::Value;
 
     /// Average rows into groups (token compression).
-    fn pool_rows(&self, x: &Self::Value, groups: &[Vec<usize>]) -> Self::Value;
+    fn pool_rows(&self, x: &Self::Value, groups: &RowGroups) -> Self::Value;
 
     /// Broadcast grouped rows back to the full token set.
-    fn unpool_rows(&self, x: &Self::Value, groups: &[Vec<usize>], total_rows: usize)
-        -> Self::Value;
+    fn unpool_rows(&self, x: &Self::Value, groups: &RowGroups, total_rows: usize) -> Self::Value;
 }
 
 /// The training context: every op records a tape node via [`Var`].
@@ -203,11 +211,11 @@ impl<'t> Exec for Binder<'t, '_> {
         x.resize_bilinear(out_h, out_w)
     }
 
-    fn pool_rows(&self, x: &Var<'t>, groups: &[Vec<usize>]) -> Var<'t> {
-        x.pool_rows(groups.to_vec())
+    fn pool_rows(&self, x: &Var<'t>, groups: &RowGroups) -> Var<'t> {
+        x.pool_rows(Arc::clone(groups))
     }
 
-    fn unpool_rows(&self, x: &Var<'t>, groups: &[Vec<usize>], total_rows: usize) -> Var<'t> {
-        x.unpool_rows(groups.to_vec(), total_rows)
+    fn unpool_rows(&self, x: &Var<'t>, groups: &RowGroups, total_rows: usize) -> Var<'t> {
+        x.unpool_rows(Arc::clone(groups), total_rows)
     }
 }

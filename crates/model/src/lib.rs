@@ -50,7 +50,7 @@ pub use batch::forward_batch;
 pub use binder::Binder;
 pub use config::ModelConfig;
 pub use exec::Exec;
-pub use infer::{InferenceSession, SessionPrecision, SessionValue};
+pub use infer::{InferenceSession, SessionActivation, SessionPrecision, SessionValue};
 pub use loss::{bayesian_loss, BayesianLossCfg};
 pub use profiler::ModelProfile;
 pub use reslim::ReslimModel;

@@ -57,6 +57,17 @@ impl ReslimModel {
         InferenceSession::prepare_at(&self.params, precision)
     }
 
+    /// Like [`session_at`](Self::session_at), additionally choosing the
+    /// activation precision the session streams at (see
+    /// [`InferenceSession::prepare_with`]).
+    pub fn session_with(
+        &self,
+        precision: crate::infer::SessionPrecision,
+        activation: crate::infer::SessionActivation,
+    ) -> InferenceSession {
+        InferenceSession::prepare_with(&self.params, precision, activation)
+    }
+
     /// Forward pass on one `[C_in, h, w]` sample.
     ///
     /// Generic over the execution context: a [`crate::Binder`] records the

@@ -5,7 +5,7 @@
 //! orbit2-serve [--addr 127.0.0.1:7878] [--grid 32x64] [--samples 32]
 //!              [--tiles N] [--halo H] [--max-batch N] [--window-us N]
 //!              [--cache N] [--queue N] [--no-batching] [--seed N]
-//!              [--precision f32|bf16|int8]
+//!              [--precision f32|bf16|int8] [--activation-precision f32|bf16]
 //! ```
 //!
 //! The server hosts two synthetic regions, `conus` and `global`, over a
@@ -18,7 +18,7 @@
 
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_imaging::tiles::TileSpec;
-use orbit2_model::{ModelConfig, ReslimModel, SessionPrecision};
+use orbit2_model::{ModelConfig, ReslimModel, SessionActivation, SessionPrecision};
 use orbit2_serve::{Region, Server, ServerConfig};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -36,6 +36,7 @@ struct Args {
     batching: bool,
     seed: u64,
     precision: SessionPrecision,
+    activation: SessionActivation,
 }
 
 impl Default for Args {
@@ -53,13 +54,14 @@ impl Default for Args {
             batching: true,
             seed: 17,
             precision: SessionPrecision::F32,
+            activation: SessionActivation::F32,
         }
     }
 }
 
 const USAGE: &str = "usage: orbit2-serve [--addr HOST:PORT] [--grid HxW] [--samples N] \
 [--tiles N] [--halo H] [--max-batch N] [--window-us N] [--cache N] [--queue N] \
-[--no-batching] [--seed N] [--precision f32|bf16|int8]";
+[--no-batching] [--seed N] [--precision f32|bf16|int8] [--activation-precision f32|bf16]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -94,6 +96,12 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--precision")?;
                 args.precision = SessionPrecision::parse(&v)
                     .ok_or_else(|| format!("--precision wants f32, bf16 or int8, got {v}"))?;
+            }
+            "--activation-precision" => {
+                let v = value("--activation-precision")?;
+                args.activation = SessionActivation::parse(&v).ok_or_else(|| {
+                    format!("--activation-precision wants f32 or bf16, got {v}")
+                })?;
             }
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
             "--help" | "-h" => {
@@ -148,6 +156,7 @@ fn main() {
         queue_capacity: args.queue,
         batching: args.batching,
         precision: args.precision,
+        activation: args.activation,
     };
     let server = Arc::new(Server::start(
         model,
@@ -169,7 +178,7 @@ fn main() {
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr);
     println!(
         "orbit2-serve listening on {bound} (regions: conus, global; coarse grid {}x{}; \
-         batching {}; max_batch {}; window {}us; cache {}; precision {})",
+         batching {}; max_batch {}; window {}us; cache {}; precision {}; activations {})",
         h / factor,
         w / factor,
         if args.batching { "on" } else { "off" },
@@ -177,6 +186,7 @@ fn main() {
         args.window_micros,
         args.cache,
         args.precision.label(),
+        args.activation.label(),
     );
     if let Err(e) = orbit2_serve::serve(server, listener) {
         eprintln!("listener error: {e}");

@@ -28,7 +28,7 @@ use orbit2_climate::{DownscalingDataset, Normalizer};
 use orbit2_imaging::tiles::{TileGeometry, TileSpec};
 use orbit2::serving::ServeStats;
 use orbit2_model::{InferenceSession, ReslimModel};
-use orbit2_tensor::fused::WeightPrecision;
+use orbit2_tensor::fused::{ActivationPrecision, WeightPrecision};
 use orbit2_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -58,6 +58,10 @@ pub struct ServerConfig {
     /// The session at this precision is prepared eagerly at startup;
     /// sessions for other requested precisions are built on first use.
     pub precision: WeightPrecision,
+    /// Activation precision for requests that don't ask for one
+    /// explicitly. Together with `precision` this names the session cell
+    /// warmed at startup.
+    pub activation: ActivationPrecision,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +74,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             batching: true,
             precision: WeightPrecision::F32,
+            activation: ActivationPrecision::F32,
         }
     }
 }
@@ -90,6 +95,8 @@ pub(crate) struct RequestState {
     compression: f32,
     /// Effective weight precision (request override or server default).
     precision: WeightPrecision,
+    /// Effective activation precision (request override or server default).
+    activation: ActivationPrecision,
     in_h: usize,
     in_w: usize,
     remaining: AtomicUsize,
@@ -122,6 +129,9 @@ pub(crate) struct JobKey {
     /// A batched forward runs through one session, so only jobs at the
     /// same precision may stack.
     precision: WeightPrecision,
+    /// ... and the session is also fixed to one activation precision, so
+    /// only same-activation tiles may stack.
+    activation: ActivationPrecision,
 }
 
 /// One tile of one request, queued for execution.
@@ -149,9 +159,10 @@ pub struct ServerStats {
 
 struct Inner {
     model: ReslimModel,
-    /// One session slot per precision, built on first use (the configured
-    /// default is warmed at startup). Indexed by `precision_slot`.
-    sessions: [OnceLock<InferenceSession>; 3],
+    /// One session slot per (weight precision × activation precision)
+    /// cell, built on first use (the configured default cell is warmed at
+    /// startup). Indexed by `session_slot`.
+    sessions: [OnceLock<InferenceSession>; 6],
     normalizer: Normalizer,
     regions: Vec<Region>,
     cfg: ServerConfig,
@@ -165,17 +176,33 @@ struct Inner {
     completed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
-    /// Completed requests (cache hits included) per precision slot.
+    /// Completed requests (cache hits included) per weight-precision slot.
     requests_by_precision: [AtomicU64; 3],
+    /// Completed requests (cache hits included) per activation-precision
+    /// slot.
+    requests_by_activation: [AtomicU64; 2],
 }
 
-/// Index of a precision's session/counter slot.
+/// Index of a weight precision's counter slot.
 fn precision_slot(p: WeightPrecision) -> usize {
     match p {
         WeightPrecision::F32 => 0,
         WeightPrecision::Bf16 => 1,
         WeightPrecision::Int8 => 2,
     }
+}
+
+/// Index of an activation precision's counter slot.
+fn act_slot(a: ActivationPrecision) -> usize {
+    match a {
+        ActivationPrecision::F32 => 0,
+        ActivationPrecision::Bf16 => 1,
+    }
+}
+
+/// Index of a (weight × activation) cell's session slot.
+fn session_slot(p: WeightPrecision, a: ActivationPrecision) -> usize {
+    precision_slot(p) * 2 + act_slot(a)
 }
 
 /// A persistent inference server. See the module docs for the lifecycle;
@@ -197,7 +224,7 @@ impl Server {
     ) -> Self {
         let inner = Arc::new(Inner {
             model,
-            sessions: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            sessions: std::array::from_fn(|_| OnceLock::new()),
             normalizer,
             regions,
             cfg,
@@ -212,10 +239,11 @@ impl Server {
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             requests_by_precision: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            requests_by_activation: [AtomicU64::new(0), AtomicU64::new(0)],
         });
-        // Warm the default-precision session so the first request doesn't
-        // pay weight packing.
-        inner.session_at(cfg.precision);
+        // Warm the default-cell session so the first request doesn't pay
+        // weight packing.
+        inner.session_for(cfg.precision, cfg.activation);
         let worker = Arc::clone(&inner);
         let batcher = std::thread::Builder::new()
             .name("orbit2-serve-batcher".into())
@@ -237,9 +265,14 @@ impl Server {
     }
 
     /// The combined wire-stats snapshot for `{"cmd": "stats"}` replies:
-    /// response-cache counters plus per-precision request counts.
+    /// response-cache counters, per-precision request counts (weight and
+    /// activation axes), and the buffer-pool telemetry — observability for
+    /// how well activation buffers are being recycled under load. The pool
+    /// counters are process-wide and monotonic; diff snapshots to attribute
+    /// traffic.
     pub fn serve_stats(&self) -> ServeStats {
         let cache = self.inner.cache.stats();
+        let pool = orbit2_tensor::pool::global_stats();
         ServeStats {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -247,6 +280,11 @@ impl Server {
             requests_f32: self.inner.requests_by_precision[0].load(Ordering::Relaxed),
             requests_bf16: self.inner.requests_by_precision[1].load(Ordering::Relaxed),
             requests_int8: self.inner.requests_by_precision[2].load(Ordering::Relaxed),
+            requests_act_f32: self.inner.requests_by_activation[0].load(Ordering::Relaxed),
+            requests_act_bf16: self.inner.requests_by_activation[1].load(Ordering::Relaxed),
+            pool_fresh_allocs: pool.fresh_allocs,
+            pool_reuses: pool.reuses,
+            pool_copies: pool.copies,
         }
     }
 
@@ -288,10 +326,15 @@ impl Drop for Server {
 }
 
 impl Inner {
-    /// The session serving `precision`, built on first use.
-    fn session_at(&self, precision: WeightPrecision) -> &InferenceSession {
-        self.sessions[precision_slot(precision)]
-            .get_or_init(|| self.model.session_at(precision))
+    /// The session serving the `(precision, activation)` cell, built on
+    /// first use.
+    fn session_for(
+        &self,
+        precision: WeightPrecision,
+        activation: ActivationPrecision,
+    ) -> &InferenceSession {
+        self.sessions[session_slot(precision, activation)]
+            .get_or_init(|| self.model.session_with(precision, activation))
     }
 
     pub(crate) fn submit(&self, req: ServeRequest) -> Handle {
@@ -317,6 +360,7 @@ impl Inner {
             return Err(ServeError::BadCompression { got: req.compression });
         }
         let precision = req.precision.unwrap_or(self.cfg.precision);
+        let activation = req.activation.unwrap_or(self.cfg.activation);
         let var_sel = match &req.variables {
             None => None,
             Some(names) => {
@@ -351,6 +395,7 @@ impl Inner {
                     compression_bits: req.compression.to_bits(),
                     scale: self.model.cfg.scale_factor,
                     precision,
+                    activation,
                 };
                 (region.dataset.sample(*time).input, Some(key))
             }
@@ -374,6 +419,8 @@ impl Inner {
         if let Some(key) = &cache_key {
             if let Some(hit) = self.cache.get(key) {
                 self.requests_by_precision[precision_slot(precision)]
+                    .fetch_add(1, Ordering::Relaxed);
+                self.requests_by_activation[act_slot(activation)]
                     .fetch_add(1, Ordering::Relaxed);
                 slot.complete(Ok(ServeResponse {
                     id: req.id,
@@ -403,6 +450,7 @@ impl Inner {
             seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
             compression: req.compression,
             precision,
+            activation,
             in_h: h,
             in_w: w,
             remaining: AtomicUsize::new(tiles.len()),
@@ -422,6 +470,7 @@ impl Inner {
                     w: tile_input.shape()[2],
                     compression_bits: req.compression.to_bits(),
                     precision,
+                    activation,
                 };
                 queue.push_back(TileJob {
                     req: Arc::clone(&state),
@@ -530,8 +579,8 @@ fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
     }
     let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Vec<Tensor> {
         if n > 1 {
-            // Stackable jobs share a `JobKey`, hence a single precision.
-            let session = inner.session_at(jobs[0].req.precision);
+            // Stackable jobs share a `JobKey`, hence a single session cell.
+            let session = inner.session_for(jobs[0].req.precision, jobs[0].req.activation);
             let refs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
             orbit2_model::forward_batch(&inner.model, session, &refs, jobs[0].req.compression)
                 .into_iter()
@@ -540,7 +589,7 @@ fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
         } else {
             jobs.iter()
                 .map(|j| {
-                    let session = inner.session_at(j.req.precision);
+                    let session = inner.session_for(j.req.precision, j.req.activation);
                     inner.model.forward(session, &j.input, j.req.compression).0.into_tensor()
                 })
                 .collect()
@@ -602,6 +651,7 @@ fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
     }
     inner.completed.fetch_add(1, Ordering::Relaxed);
     inner.requests_by_precision[precision_slot(req.precision)].fetch_add(1, Ordering::Relaxed);
+    inner.requests_by_activation[act_slot(req.activation)].fetch_add(1, Ordering::Relaxed);
     req.done.complete(Ok(ServeResponse {
         id: req.id,
         shape: output.shape().to_vec(),
@@ -623,6 +673,7 @@ mod tests {
             seq,
             compression: 1.0,
             precision: WeightPrecision::F32,
+            activation: ActivationPrecision::F32,
             in_h: 4,
             in_w: 4,
             remaining: AtomicUsize::new(tiles),
@@ -647,6 +698,7 @@ mod tests {
                 w: h,
                 compression_bits: 1.0f32.to_bits(),
                 precision: WeightPrecision::F32,
+                activation: ActivationPrecision::F32,
             },
             enqueued: Instant::now(),
         }

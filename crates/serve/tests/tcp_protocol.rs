@@ -3,7 +3,7 @@
 //! pipeline, and hit the cache exactly as through the library API.
 
 use orbit2::serving::ServeRequest;
-use orbit2_model::SessionPrecision;
+use orbit2_model::{SessionActivation, SessionPrecision};
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_model::{ModelConfig, ReslimModel};
 use orbit2_serve::{Client, Region, Server, ServerConfig, ServerReply};
@@ -148,14 +148,25 @@ fn stats_command_reports_counters_over_the_wire() {
     let _ = client
         .roundtrip(&ServeRequest::region(3, "conus", 4).at_precision(SessionPrecision::Bf16))
         .unwrap();
+    let _ = client
+        .roundtrip(&ServeRequest::region(4, "conus", 4).at_activation(SessionActivation::Bf16))
+        .unwrap();
 
     let stats = client.stats().unwrap();
-    assert_eq!(stats.cache_misses, 2, "f32 and bf16 each computed once");
+    assert_eq!(stats.cache_misses, 3, "f32, bf16-weight and bf16-act each computed once");
     assert_eq!(stats.cache_hits, 1);
-    assert_eq!(stats.cache_entries, 2);
-    assert_eq!(stats.requests_f32, 2);
+    assert_eq!(stats.cache_entries, 3);
+    assert_eq!(stats.requests_f32, 3, "bf16 activations still ran f32 weights");
     assert_eq!(stats.requests_bf16, 1);
     assert_eq!(stats.requests_int8, 0);
+    assert_eq!(stats.requests_act_f32, 3);
+    assert_eq!(stats.requests_act_bf16, 1);
+    // Pool telemetry rides the same reply; four forwards ran, so buffers
+    // must have been allocated or recycled.
+    assert!(
+        stats.pool_fresh_allocs + stats.pool_reuses > 0,
+        "pool counters must be live over the wire: {stats:?}"
+    );
 }
 
 /// Unknown commands get a typed bad_request line instead of hanging the
@@ -181,4 +192,9 @@ fn bad_precision_label_is_bad_request() {
         .send_line(r#"{"id": 60, "region": "conus", "time": 0, "precision": "fp64"}"#)
         .unwrap();
     expect_error(client.recv().unwrap(), 60, "bad_request");
+    // Same on the activation axis; int8 activations don't exist.
+    client
+        .send_line(r#"{"id": 61, "region": "conus", "time": 0, "activation": "int8"}"#)
+        .unwrap();
+    expect_error(client.recv().unwrap(), 61, "bad_request");
 }

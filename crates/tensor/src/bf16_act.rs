@@ -1,0 +1,356 @@
+//! BF16 *activation* storage and the row-wise kernels that stream it.
+//!
+//! [`crate::qgemm`] halved the bytes a resident **weight** stream moves; this
+//! module does the same for the **activations** flowing between ops in an
+//! inference session — the other half of the paper's mixed-precision
+//! bandwidth win. A [`Bf16Tensor`] holds `u16` BF16 words behind an `Arc`
+//! (cheap clones, `Send + Sync`, shareable across tile workers), and the
+//! memory-bound row-wise ops — layer norm, softmax, residual add, GELU,
+//! scale — read and write the words directly, widening to f32 only inside
+//! registers. All statistics (Welford mean/variance, softmax sums) and all
+//! accumulation stay f32 or wider.
+//!
+//! ## SIMD-mode invariance by construction
+//!
+//! Unlike the f32 kernels, every kernel here has a single code path built
+//! from the portable lane structs ([`F32x8`]) whose methods are plain
+//! per-lane arithmetic in both modes, from scalar folds, and from the two
+//! mode-branching helpers whose results are provably mode-independent
+//! (elementwise `simd::scale`; order-independent `simd::max_value`, see
+//! [`softmax_rows_bf16`]). `ORBIT2_DISABLE_SIMD=1` therefore cannot change
+//! a single output bit — there is no separate oracle to diverge from. (The
+//! bf16 GEMM consuming these words has its own oracle pair in
+//! [`crate::qgemm`], bit-identical by the shared-FMA-chain argument.)
+//!
+//! The elementwise kernels ([`add_bf16`], [`gelu_bf16`], [`scale_bf16`]) are
+//! definitionally `bf16(f(widen(x)))` per element, so they produce exactly
+//! the words a widen → f32-op → narrow round trip would — they just skip the
+//! f32 materialization. Layer norm and softmax *define* the bf16-activation
+//! value of those ops (their f32 counterparts are mode-dependent in how they
+//! accumulate; these are not).
+
+use crate::bf16::{bf16_slice_to_f32, bf16_to_f32, f32_slice_to_bf16, f32_to_bf16};
+use crate::fused::chan_combine;
+use crate::ops::gelu_scalar;
+use crate::pool;
+use crate::simd::{self, F32x8, LANES};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// An n-dimensional activation tensor stored as `u16` BF16 words.
+///
+/// The storage is `Arc`-shared (clones are O(1)) but **not** pooled: the
+/// buffer pool holds `f32` buffers only, and bf16 activations are half-sized
+/// and short-lived, so they allocate fresh. Widening back to a full
+/// [`Tensor`] (for ops pinned to f32) does draw from the pool.
+#[derive(Debug, Clone)]
+pub struct Bf16Tensor {
+    shape: Vec<usize>,
+    data: Arc<Vec<u16>>,
+}
+
+impl Bf16Tensor {
+    /// Narrow an f32 tensor to BF16 words (round-to-nearest-even per
+    /// element). Lossless when the values are already BF16-representable.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        Bf16Tensor {
+            shape: t.shape().to_vec(),
+            data: Arc::new(f32_slice_to_bf16(t.data())),
+        }
+    }
+
+    /// Wrap raw BF16 words under a shape.
+    pub fn from_words(shape: Vec<usize>, words: Vec<u16>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            words.len(),
+            "shape {shape:?} does not cover {} words",
+            words.len()
+        );
+        Bf16Tensor { shape, data: Arc::new(words) }
+    }
+
+    /// Widen every word back to an f32 [`Tensor`] (exact — every BF16 value
+    /// is f32-representable).
+    pub fn widen(&self) -> Tensor {
+        let mut out = pool::alloc_uninit(self.data.len());
+        bf16_slice_to_f32(&self.data, &mut out);
+        Tensor::from_vec(self.shape.clone(), out)
+    }
+
+    /// The raw BF16 words, row-major.
+    pub fn words(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Dimension sizes.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reinterpret under a new shape of the same element count — metadata
+    /// only, the words are shared.
+    pub fn reshape(&self, shape: Vec<usize>) -> Bf16Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape {:?} -> {shape:?} changes element count",
+            self.shape
+        );
+        Bf16Tensor { shape, data: Arc::clone(&self.data) }
+    }
+}
+
+/// Single-pass Welford mean/variance of one BF16 row, widening per element.
+///
+/// Always runs the 8-lane stream body (no [`simd::enabled`] branch — see the
+/// module docs), merges lanes with Chan's combine, and folds the tail in
+/// f64, mirroring the f32 kernel's vector path.
+fn welford_bf16(row: &[u16]) -> (f32, f32) {
+    let d = row.len();
+    debug_assert!(d > 0, "welford of an empty row");
+    let mut mean = F32x8::ZERO;
+    let mut m2 = F32x8::ZERO;
+    let mut chunks = row.chunks_exact(LANES);
+    let mut t = 0.0f32;
+    for ch in chunks.by_ref() {
+        t += 1.0;
+        let mut lanes = [0.0f32; LANES];
+        for (l, &w) in lanes.iter_mut().zip(ch) {
+            *l = bf16_to_f32(w);
+        }
+        let x = F32x8::load(&lanes);
+        let delta = x.sub(mean);
+        mean = mean.add(delta.mul(F32x8::splat(1.0 / t)));
+        m2 = m2.add(delta.mul(x.sub(mean)));
+    }
+    let (mut cmean, mut cm2, mut cn) = (0.0f64, 0.0f64, 0.0f64);
+    if t > 0.0 {
+        // Rows shorter than one lane group skip the combine entirely (a
+        // data-size branch, not a mode branch: both SIMD modes take it for
+        // the same row).
+        let means = mean.to_array();
+        let m2s = m2.to_array();
+        cmean = means[0] as f64;
+        cm2 = m2s[0] as f64;
+        cn = t as f64;
+        for l in 1..LANES {
+            (cmean, cm2, cn) =
+                chan_combine(cmean, cm2, cn, means[l] as f64, m2s[l] as f64, t as f64);
+        }
+    }
+    for &w in chunks.remainder() {
+        let x = bf16_to_f32(w) as f64;
+        cn += 1.0;
+        let delta = x - cmean;
+        cmean += delta / cn;
+        cm2 += delta * (x - cmean);
+    }
+    (cmean as f32, (cm2 / d as f64) as f32)
+}
+
+/// One-pass layer norm with fused affine over BF16 rows:
+/// `bf16(fma((x - mean) * inv_std, gamma, beta))` per element.
+///
+/// The f32 session path runs normalize, `* gamma`, and `+ beta` as three
+/// buffer traversals; here all three collapse into the single narrow-write
+/// pass, with the Welford statistics in f32/f64 throughout.
+pub fn layer_norm_rows_bf16(
+    src: &[u16],
+    rows: usize,
+    d: usize,
+    eps: f32,
+    gamma: &[f32],
+    beta: &[f32],
+) -> Vec<u16> {
+    assert_eq!(src.len(), rows * d);
+    assert_eq!(gamma.len(), d, "gamma length");
+    assert_eq!(beta.len(), d, "beta length");
+    let mut out = vec![0u16; rows * d];
+    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
+        let row = &src[r * d..(r + 1) * d];
+        let (mean, var) = welford_bf16(row);
+        let is = 1.0 / (var + eps).sqrt();
+        for (((o, &w), &g), &b) in orow.iter_mut().zip(row).zip(gamma).zip(beta) {
+            *o = f32_to_bf16(simd::fma((bf16_to_f32(w) - mean) * is, g, b));
+        }
+    });
+    out
+}
+
+/// In-place softmax over contiguous BF16 rows of length `inner`: widen the
+/// row once into a pooled f32 scratch, take the vectorized max, exponentiate
+/// and sum (scalar — `exp` is a libm call in the f32 kernel too), scale by
+/// the inverse sum with full lanes, and narrow on the write back.
+///
+/// The lane helpers used here ([`simd::max_value`], [`simd::scale`]) do
+/// branch on the SIMD mode, but neither can change an output bit: `scale` is
+/// elementwise, and a max fold is order-independent up to the sign of a
+/// ±0.0 tie, which the subsequent `exp` maps to 1.0 either way. A scalar
+/// max fold over the u16 words (the obvious formulation) serializes on the
+/// fold's latency chain and was measured ~1.8x slower than this layout at
+/// 4096x512.
+pub fn softmax_rows_bf16(data: &mut [u16], inner: usize) {
+    if inner == 0 {
+        return;
+    }
+    debug_assert_eq!(data.len() % inner, 0);
+    data.par_chunks_mut(inner).for_each(|row| {
+        let mut scratch = pool::alloc_uninit(inner);
+        bf16_slice_to_f32(row, &mut scratch);
+        let mx = simd::max_value(&scratch);
+        let mut sum = 0.0f32;
+        for s in scratch.iter_mut() {
+            *s = (*s - mx).exp();
+            sum += *s;
+        }
+        simd::scale(&mut scratch, 1.0 / sum);
+        for (o, &s) in row.iter_mut().zip(scratch.iter()) {
+            *o = f32_to_bf16(s);
+        }
+    });
+}
+
+/// Elementwise residual add of two same-length word slices:
+/// `bf16(widen(a) + widen(b))`.
+pub fn add_bf16(a: &[u16], b: &[u16]) -> Vec<u16> {
+    assert_eq!(a.len(), b.len(), "add_bf16 length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| f32_to_bf16(bf16_to_f32(x) + bf16_to_f32(y))).collect()
+}
+
+/// Elementwise tanh-approximated GELU: `bf16(gelu(widen(x)))` (the same
+/// scalar [`Tensor::gelu`] maps).
+pub fn gelu_bf16(a: &[u16]) -> Vec<u16> {
+    a.iter().map(|&w| f32_to_bf16(gelu_scalar(bf16_to_f32(w)))).collect()
+}
+
+/// Elementwise scalar multiply: `bf16(widen(x) * s)`.
+pub fn scale_bf16(a: &[u16], s: f32) -> Vec<u16> {
+    a.iter().map(|&w| f32_to_bf16(bf16_to_f32(w) * s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::{layer_norm_rows, welford_mean_var};
+    use crate::random::randn;
+
+    #[test]
+    fn widen_narrow_roundtrip_is_lossless() {
+        let t = randn(&[5, 33], 3);
+        let b = Bf16Tensor::from_tensor(&t);
+        // Narrowing the widened tensor reproduces the words exactly: BF16 ->
+        // f32 is exact, so the session can hop between storages freely on
+        // already-narrowed data.
+        let again = Bf16Tensor::from_tensor(&b.widen());
+        assert_eq!(b.words(), again.words());
+        assert_eq!(b.shape(), &[5, 33]);
+        assert_eq!(b.reshape(vec![33, 5]).shape(), &[33, 5]);
+    }
+
+    #[test]
+    fn elementwise_kernels_equal_widen_compute_narrow() {
+        let a = Bf16Tensor::from_tensor(&randn(&[7, 40], 11));
+        let b = Bf16Tensor::from_tensor(&randn(&[7, 40], 12));
+        let (aw, bw) = (a.widen(), b.widen());
+        assert_eq!(
+            add_bf16(a.words(), b.words()),
+            f32_slice_to_bf16(aw.add(&bw).data()),
+            "add"
+        );
+        assert_eq!(gelu_bf16(a.words()), f32_slice_to_bf16(aw.gelu().data()), "gelu");
+        assert_eq!(
+            scale_bf16(a.words(), 0.125),
+            f32_slice_to_bf16(aw.mul_scalar(0.125).data()),
+            "scale"
+        );
+    }
+
+    #[test]
+    fn layer_norm_bf16_close_to_f32_kernel() {
+        // Row lengths straddling the lane-group boundary, including one with
+        // no full lane chunk at all (the t == 0 combine guard).
+        for &(rows, d) in &[(4usize, 5usize), (3, 8), (6, 37), (2, 64)] {
+            let x = randn(&[rows, d], 21);
+            let gamma = randn(&[d], 22);
+            let beta = randn(&[d], 23);
+            let words = f32_slice_to_bf16(x.data());
+            let got = layer_norm_rows_bf16(&words, rows, d, 1e-5, gamma.data(), beta.data());
+            // f32 reference on the *widened* words, affine applied scalar.
+            let mut wide = vec![0.0f32; words.len()];
+            bf16_slice_to_f32(&words, &mut wide);
+            let (norm, _) = layer_norm_rows(&wide, rows, d, 1e-5);
+            for (i, &w) in got.iter().enumerate() {
+                let expect = norm[i] * gamma.data()[i % d] + beta.data()[i % d];
+                let err = (bf16_to_f32(w) - expect).abs();
+                assert!(err <= 0.02 * expect.abs().max(1.0), "rows={rows} d={d} i={i}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn welford_bf16_matches_f32_welford_closely() {
+        for d in [1usize, 7, 8, 9, 64, 257] {
+            let x = randn(&[d], 31).to_bf16();
+            let words = f32_slice_to_bf16(x.data());
+            let (m_b, v_b) = welford_bf16(&words);
+            let (m_f, v_f) = welford_mean_var(x.data());
+            assert!((m_b - m_f).abs() < 1e-4, "d={d} mean {m_b} vs {m_f}");
+            assert!((v_b - v_f).abs() < 1e-3, "d={d} var {v_b} vs {v_f}");
+        }
+    }
+
+    #[test]
+    fn softmax_bf16_rows_sum_to_one() {
+        let x = randn(&[6, 29], 41);
+        let mut words = f32_slice_to_bf16(x.data());
+        softmax_rows_bf16(&mut words, 29);
+        for row in words.chunks_exact(29) {
+            let sum: f32 = row.iter().map(|&w| bf16_to_f32(w)).sum();
+            // Each term carries one BF16 rounding; the sum stays within the
+            // accumulated bound.
+            assert!((sum - 1.0).abs() < 29.0 * crate::bf16::BF16_EPS, "sum {sum}");
+            assert!(row.iter().all(|&w| bf16_to_f32(w) >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_bf16_close_to_f32_softmax() {
+        let x = randn(&[5, 13], 51);
+        let words_in = f32_slice_to_bf16(x.data());
+        let mut words = words_in.clone();
+        softmax_rows_bf16(&mut words, 13);
+        let mut wide = vec![0.0f32; words_in.len()];
+        bf16_slice_to_f32(&words_in, &mut wide);
+        let expect = Tensor::from_vec(vec![5, 13], wide).softmax_last();
+        for (&w, &e) in words.iter().zip(expect.data()) {
+            assert!((bf16_to_f32(w) - e).abs() < 2.0 * crate::bf16::BF16_EPS, "{w:#06x} vs {e}");
+        }
+    }
+
+    #[test]
+    fn from_words_shape_is_checked() {
+        let b = Bf16Tensor::from_words(vec![2, 3], vec![0u16; 6]);
+        assert_eq!(b.len(), 6);
+        assert!(!b.is_empty());
+        assert_eq!(b.ndim(), 2);
+        let r = std::panic::catch_unwind(|| Bf16Tensor::from_words(vec![2, 4], vec![0u16; 6]));
+        assert!(r.is_err());
+    }
+}

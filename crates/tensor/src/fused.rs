@@ -106,6 +106,39 @@ impl WeightPrecision {
     }
 }
 
+/// Storage precision of the *activations* flowing between ops in an
+/// inference session. Orthogonal to [`WeightPrecision`]: weights can sit in
+/// int8 packs while activations stream as bf16 words, and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ActivationPrecision {
+    /// Full f32 activation tensors — bit-identical to the tape-free path
+    /// before this knob existed.
+    #[default]
+    F32,
+    /// `u16` BF16 words, widened to f32 at each op's register boundary
+    /// (accumulation stays f32; see [`crate::bf16_act`]).
+    Bf16,
+}
+
+impl ActivationPrecision {
+    /// Stable lowercase label used in wire formats and bench row names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivationPrecision::F32 => "f32",
+            ActivationPrecision::Bf16 => "bf16",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a precision.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(ActivationPrecision::F32),
+            "bf16" => Some(ActivationPrecision::Bf16),
+            _ => None,
+        }
+    }
+}
+
 /// A full-width linear weight packed once into f32 microkernel strips.
 ///
 /// The pack bytes are identical to what [`matmul_bias_act`] would produce
@@ -531,7 +564,7 @@ pub fn welford_mean_var(row: &[f32]) -> (f32, f32) {
 
 /// Chan's parallel combine for two Welford partials.
 #[inline]
-fn chan_combine(ma: f64, m2a: f64, na: f64, mb: f64, m2b: f64, nb: f64) -> (f64, f64, f64) {
+pub(crate) fn chan_combine(ma: f64, m2a: f64, na: f64, mb: f64, m2b: f64, nb: f64) -> (f64, f64, f64) {
     let n = na + nb;
     let delta = mb - ma;
     let mean = ma + delta * nb / n;

@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Per-capacity cap on pooled buffers; bounds worst-case retention when one
@@ -59,9 +60,27 @@ thread_local! {
     static POOL: RefCell<Pool> = RefCell::new(Pool::default());
 }
 
+// Process-wide aggregates over every thread's pool, maintained alongside the
+// thread-local counters (relaxed: they are monotone telemetry, not a sync
+// primitive). The server's `{"cmd":"stats"}` reads these — its allocations
+// happen on rayon workers whose thread-local counters it cannot reach.
+static GLOBAL_FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_REUSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_COPIES: AtomicU64 = AtomicU64::new(0);
+
 /// This thread's allocation counters since the last [`reset_stats`].
 pub fn stats() -> PoolStats {
     POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+}
+
+/// Process-wide allocation counters summed over all threads since process
+/// start (never reset — consumers diff snapshots).
+pub fn global_stats() -> PoolStats {
+    PoolStats {
+        fresh_allocs: GLOBAL_FRESH_ALLOCS.load(Ordering::Relaxed),
+        reuses: GLOBAL_REUSES.load(Ordering::Relaxed),
+        copies: GLOBAL_COPIES.load(Ordering::Relaxed),
+    }
 }
 
 /// Zero this thread's allocation counters.
@@ -91,6 +110,7 @@ pub fn alloc_uninit(len: usize) -> Vec<f32> {
             if let Some(mut v) = p.buckets.get_mut(&len).and_then(Vec::pop) {
                 p.pooled_bytes -= len * std::mem::size_of::<f32>();
                 p.stats.reuses += 1;
+                GLOBAL_REUSES.fetch_add(1, Ordering::Relaxed);
                 // Capacity equals `len` (bucket key); only the tail beyond the
                 // old length gets written here, the rest keeps stale values.
                 v.resize(len, 0.0);
@@ -98,9 +118,13 @@ pub fn alloc_uninit(len: usize) -> Vec<f32> {
             }
         }
         p.stats.fresh_allocs += 1;
+        GLOBAL_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
         vec![0.0; len]
     })
-    .unwrap_or_else(|_| vec![0.0; len])
+    .unwrap_or_else(|_| {
+        GLOBAL_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        vec![0.0; len]
+    })
 }
 
 /// Like [`alloc_uninit`] but every element is `value`.
@@ -181,6 +205,7 @@ impl Clone for Buffer {
         let mut v = alloc_uninit(self.0.len());
         v.copy_from_slice(&self.0);
         let _ = POOL.try_with(|p| p.borrow_mut().stats.copies += 1);
+        GLOBAL_COPIES.fetch_add(1, Ordering::Relaxed);
         Buffer(v)
     }
 }
@@ -246,6 +271,21 @@ mod tests {
         let b = a.clone();
         assert_eq!(b.as_slice(), a.as_slice());
         assert_eq!(stats().copies, 1);
+    }
+
+    #[test]
+    fn global_stats_aggregate_across_events() {
+        // Tests run concurrently, so the global counters can only be
+        // asserted monotone: each local event must bump its global mirror by
+        // at least as much.
+        let g0 = global_stats();
+        drop(Buffer::uninit(4099));
+        let a = Buffer::uninit(4099); // reuse (or fresh if another test stole it)
+        let b = a.clone(); // copy
+        assert_eq!(b.len(), a.len());
+        let g1 = global_stats();
+        assert!(g1.fresh_allocs + g1.reuses >= g0.fresh_allocs + g0.reuses + 2);
+        assert!(g1.copies > g0.copies);
     }
 
     #[test]

@@ -11,8 +11,12 @@
 #   5. chaos suite (scripts/chaos_smoke.sh: fault injection + recovery,
 #      both SIMD modes)
 #   6. reduced-precision quality gate (crates/core/tests/precision_gate.rs):
-#      bf16/int8 sessions must reproduce the f32 Table IV metrics within
-#      tolerance. Runs in release so it exercises the packed kernels.
+#      bf16/int8 weight sessions AND bf16-activation sessions must
+#      reproduce the f32 Table IV metrics within tolerance. Runs in
+#      release, in BOTH SIMD modes: the packed kernels and their scalar
+#      oracles are bit-identical by construction, so the gate must hold
+#      identically under ORBIT2_DISABLE_SIMD=1 — a divergence there means
+#      a kernel/oracle mismatch, not a tolerance problem.
 #   7. bench regression check (scripts/bench_check.sh), split by file:
 #      BENCH_kernels.json is STRICT — a >50% median regression fails the
 #      pipeline. 50% sits above the measured noise floor of this box's
@@ -50,8 +54,11 @@ scripts/lint.sh
 step "chaos suite"
 scripts/chaos_smoke.sh
 
-step "reduced-precision quality gate (bf16/int8 vs f32 metrics)"
+step "reduced-precision quality gate (bf16/int8 weights + bf16 activations vs f32 metrics)"
 cargo test --release -q -p orbit2 --test precision_gate
+
+step "reduced-precision quality gate (SIMD disabled: ORBIT2_DISABLE_SIMD=1)"
+ORBIT2_DISABLE_SIMD=1 cargo test --release -q -p orbit2 --test precision_gate
 
 step "bench regression check: kernels (STRICT unless ORBIT2_BENCH_CHECK_STRICT=0)"
 # Default tolerance 50%: above the ±30-35% run-to-run noise of the sub-ms
