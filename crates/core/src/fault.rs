@@ -1,4 +1,5 @@
-//! Deterministic fault injection for chaos-testing the TILES × DDP trainer.
+//! Deterministic fault injection for chaos-testing the TILES × DDP trainer
+//! and the `orbit2-serve` serving path.
 //!
 //! ORBIT-2 trains across thousands of Frontier GPUs, where node failure is
 //! routine (the paper and its predecessor ORBIT lean on checkpoint/restart
@@ -33,6 +34,20 @@
 //! `seed` makes the schedule deterministic: whether job `j` of step `s`
 //! faults is a pure function of `(seed, s, j)`, independent of thread
 //! timing and of which other faults fired.
+//!
+//! ## Serving (`ORBIT2_SERVE_FAULT_PLAN`)
+//!
+//! The same plan chaos-tests `orbit2-serve`: the coordinates become
+//! `(batch, job)` — the dispatch ordinal of an executed microbatch and a
+//! tile job's position within it — and the schedule is armed through the
+//! separate `ORBIT2_SERVE_FAULT_PLAN` variable (same value format) so a
+//! process can chaos the trainer and the server independently.
+//! `FaultKind::NaNGradient` has no serving meaning (no gradients flow)
+//! and is ignored there; `panic` exercises the panic-quarantine path and
+//! `straggle` the deadline checkpoints. As in training, `persistent=1`
+//! means a faulty job fails its isolated retry too (the request gets a
+//! typed `internal` error) while the transient default lets the
+//! quarantine retry recover every injected panic.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -217,14 +232,29 @@ impl FaultPlan {
     /// Returns `None` when unset or empty; an invalid value is reported on
     /// stderr and ignored (training must not die to a typo in a chaos knob).
     pub fn from_env() -> Option<Self> {
-        let spec = std::env::var("ORBIT2_FAULT_PLAN").ok()?;
+        Self::from_env_named("ORBIT2_FAULT_PLAN")
+    }
+
+    /// Build a plan from the `ORBIT2_SERVE_FAULT_PLAN` environment
+    /// variable — the serving-side arming knob, kept separate from the
+    /// trainer's so one process can chaos either layer alone.
+    pub fn from_serve_env() -> Option<Self> {
+        Self::from_env_named("ORBIT2_SERVE_FAULT_PLAN")
+    }
+
+    /// Build a plan from an arbitrarily-named environment variable holding
+    /// the `ORBIT2_FAULT_PLAN` value format. Returns `None` when unset or
+    /// empty; an invalid value is reported on stderr and ignored (neither
+    /// training nor serving must die to a typo in a chaos knob).
+    pub fn from_env_named(var: &str) -> Option<Self> {
+        let spec = std::env::var(var).ok()?;
         if spec.trim().is_empty() {
             return None;
         }
         match Self::parse(&spec) {
             Ok(plan) => Some(plan),
             Err(e) => {
-                eprintln!("ignoring invalid ORBIT2_FAULT_PLAN: {e}");
+                eprintln!("ignoring invalid {var}: {e}");
                 None
             }
         }

@@ -57,6 +57,13 @@ pub struct ServeRequest {
     /// response-cache identity and the batch key — tiles only cobatch with
     /// tiles of the same (weight, activation) cell.
     pub activation: Option<ActivationPrecision>,
+    /// Server-side deadline in milliseconds, measured from admission.
+    /// `None` defers to the server's `--default-deadline-ms` (which may
+    /// itself be unset, meaning no deadline). Expired work is shed at
+    /// three checkpoints — admission, dispatch, and stitch — and the
+    /// request completes with [`ServeError::DeadlineExceeded`]; the
+    /// server never returns a result the client has stopped waiting for.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ServeRequest {
@@ -69,6 +76,7 @@ impl ServeRequest {
             variables: None,
             precision: None,
             activation: None,
+            deadline_ms: None,
         }
     }
 
@@ -81,6 +89,7 @@ impl ServeRequest {
             variables: None,
             precision: None,
             activation: None,
+            deadline_ms: None,
         }
     }
 
@@ -94,6 +103,12 @@ impl ServeRequest {
     /// default).
     pub fn at_activation(mut self, activation: ActivationPrecision) -> Self {
         self.activation = Some(activation);
+        self
+    }
+
+    /// Builder-style server-side deadline (overrides the server default).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -121,6 +136,9 @@ impl Serialize for ServeRequest {
         }
         if let Some(a) = self.activation {
             m.insert("activation".into(), a.label().serialize_value());
+        }
+        if let Some(d) = self.deadline_ms {
+            m.insert("deadline_ms".into(), d.serialize_value());
         }
         Value::Object(m)
     }
@@ -181,7 +199,11 @@ impl Deserialize for ServeRequest {
             }
             None => None,
         };
-        Ok(Self { id, source, compression, variables, precision, activation })
+        let deadline_ms = match obj.get("deadline_ms") {
+            Some(d) => Some(u64::deserialize_value(d)?),
+            None => None,
+        };
+        Ok(Self { id, source, compression, variables, precision, activation, deadline_ms })
     }
 }
 
@@ -237,6 +259,18 @@ pub struct ServeStats {
     pub pool_reuses: u64,
     /// Copy-on-write copies of still-shared pooled buffers.
     pub pool_copies: u64,
+    /// Tile jobs re-executed in isolation after a batched forward panicked,
+    /// and which then completed cleanly (quarantine saved them).
+    pub retried_jobs: u64,
+    /// Tile jobs that panicked again in isolation — the actual culprits;
+    /// each one fails exactly its own request with an `internal` error.
+    pub quarantined_jobs: u64,
+    /// Queued tile jobs shed at dispatch because their request's deadline
+    /// had already expired (wasted-work the deadline checkpoints avoided).
+    pub shed_jobs: u64,
+    /// Requests that terminated with `deadline_exceeded` (at admission,
+    /// dispatch, or stitch time).
+    pub deadline_expired: u64,
 }
 
 impl ServeStats {
@@ -269,6 +303,29 @@ impl ServeStats {
             ActivationPrecision::F32 => self.requests_act_f32,
             ActivationPrecision::Bf16 => self.requests_act_bf16,
         }
+    }
+}
+
+/// Reply to a `{"cmd": "health"}` control line: the coarse liveness
+/// signal a load balancer polls to decide whether to route new traffic
+/// here. `status` is `"ok"` while admitting and `"draining"` once
+/// [`drain`/`shutdown`] has stopped admission; `inflight` and
+/// `queue_depth` give the balancer a load signal without a full stats
+/// round-trip. FIFO-ordered with pipelined requests, like `stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeHealth {
+    /// `"ok"` (admitting) or `"draining"` (shedding; route elsewhere).
+    pub status: String,
+    /// Requests admitted and not yet terminal.
+    pub inflight: u64,
+    /// Tile jobs queued and not yet dispatched.
+    pub queue_depth: u64,
+}
+
+impl ServeHealth {
+    /// Whether the server is still admitting new requests.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
     }
 }
 
@@ -313,6 +370,20 @@ pub enum ServeError {
     },
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The request's deadline expired before a result could be returned.
+    /// The server sheds expired work at admission, at dispatch (before
+    /// any forward runs), and at stitch time.
+    DeadlineExceeded {
+        /// The effective deadline that expired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Execution failed server-side (a panicked forward that also failed
+    /// its isolated quarantine retry). Unlike `bad_request`, the client
+    /// did nothing wrong; retrying against a healthy replica is sound.
+    Internal {
+        /// What went wrong, from the panic payload.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -328,7 +399,22 @@ impl ServeError {
             ServeError::Rejected(InferenceError::NotPatchAligned { .. }) => "not_patch_aligned",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Internal { .. } => "internal",
         }
+    }
+
+    /// Whether a client should retry this error against the same (or
+    /// another) server: load shedding and drains are transient by nature,
+    /// and internal failures are server-side, so a retry may land on a
+    /// healthy replica or a clean batch. Client-caused errors
+    /// (`bad_request`, validation failures, expired deadlines) are not
+    /// retryable — the same request will fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::ShuttingDown | ServeError::Internal { .. }
+        )
     }
 
     /// Convert to the wire representation.
@@ -351,6 +437,10 @@ impl fmt::Display for ServeError {
                 write!(f, "admission queue full ({capacity} requests)")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms}ms exceeded")
+            }
+            ServeError::Internal { reason } => write!(f, "internal server error: {reason}"),
         }
     }
 }
@@ -442,12 +532,18 @@ mod tests {
         stats.cache_hits = 5;
         stats.cache_entries = 2;
         stats.pool_reuses = 7;
+        stats.retried_jobs = 3;
+        stats.quarantined_jobs = 1;
+        stats.shed_jobs = 4;
+        stats.deadline_expired = 2;
         assert_eq!(stats.requests_at(WeightPrecision::Bf16), 2);
         assert_eq!(stats.requests_at(WeightPrecision::F32), 0);
         assert_eq!(stats.requests_at_activation(ActivationPrecision::Bf16), 1);
         assert_eq!(stats.requests_at_activation(ActivationPrecision::F32), 2);
         let line = serde_json::to_string(&stats).unwrap();
         assert!(line.contains("pool_reuses"), "{line}");
+        assert!(line.contains("quarantined_jobs"), "{line}");
+        assert!(line.contains("deadline_expired"), "{line}");
         let back: ServeStats = serde_json::from_str(&line).unwrap();
         assert_eq!(back, stats);
     }
@@ -490,23 +586,134 @@ mod tests {
         assert_eq!(back, resp);
     }
 
+    /// Whose fault each error is. Client-caused and server-caused failures
+    /// must never share a wire kind: a client retry loop keys off the kind
+    /// to decide whether resending the same request can ever succeed.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Blame {
+        /// The request itself is wrong; resending it is futile.
+        Client,
+        /// The server (or its load) failed; the request was fine.
+        Server,
+    }
+
+    /// One row per `ServeError` variant: the wire kind is a stable
+    /// protocol commitment, and the blame column pins the audit that
+    /// server-side faults (panics, drains, shedding) are never
+    /// misclassified as client errors.
     #[test]
-    fn every_error_kind_is_distinct_and_stable() {
-        let all = [
-            ServeError::BadRequest { reason: "x".into() },
-            ServeError::UnknownRegion { region: "x".into() },
-            ServeError::UnknownVariable { variable: "x".into() },
-            ServeError::BadCompression { got: 0.5 },
-            ServeError::Rejected(InferenceError::BadRank { ndim: 2 }),
-            ServeError::Rejected(InferenceError::ChannelMismatch { got: 1, expected: 2 }),
-            ServeError::Rejected(InferenceError::NotPatchAligned { h: 3, w: 3, patch: 2 }),
-            ServeError::QueueFull { capacity: 8 },
-            ServeError::ShuttingDown,
+    fn every_error_variant_has_a_stable_attributed_wire_kind() {
+        use Blame::{Client, Server};
+        let table: Vec<(ServeError, &str, Blame, bool)> = vec![
+            // (variant, wire kind, blame, retryable)
+            (ServeError::BadRequest { reason: "x".into() }, "bad_request", Client, false),
+            (ServeError::UnknownRegion { region: "x".into() }, "unknown_region", Client, false),
+            (
+                ServeError::UnknownVariable { variable: "x".into() },
+                "unknown_variable",
+                Client,
+                false,
+            ),
+            (ServeError::BadCompression { got: 0.5 }, "bad_compression", Client, false),
+            (
+                ServeError::Rejected(InferenceError::BadRank { ndim: 2 }),
+                "invalid_rank",
+                Client,
+                false,
+            ),
+            (
+                ServeError::Rejected(InferenceError::ChannelMismatch { got: 1, expected: 2 }),
+                "channel_mismatch",
+                Client,
+                false,
+            ),
+            (
+                ServeError::Rejected(InferenceError::NotPatchAligned { h: 3, w: 3, patch: 2 }),
+                "not_patch_aligned",
+                Client,
+                false,
+            ),
+            (ServeError::QueueFull { capacity: 8 }, "queue_full", Server, true),
+            (ServeError::ShuttingDown, "shutting_down", Server, true),
+            // The client *chose* the deadline; a resend of the same
+            // request would expire the same way under the same load.
+            (
+                ServeError::DeadlineExceeded { deadline_ms: 25 },
+                "deadline_exceeded",
+                Client,
+                false,
+            ),
+            (ServeError::Internal { reason: "boom".into() }, "internal", Server, true),
         ];
-        let kinds: std::collections::BTreeSet<&str> = all.iter().map(|e| e.kind()).collect();
-        assert_eq!(kinds.len(), all.len(), "kinds must be unique");
-        let wire = all[4].to_wire();
+        let kinds: std::collections::BTreeSet<&str> =
+            table.iter().map(|(e, _, _, _)| e.kind()).collect();
+        assert_eq!(kinds.len(), table.len(), "kinds must be unique");
+        for (err, kind, blame, retryable) in &table {
+            assert_eq!(err.kind(), *kind, "wire kind drifted for {err:?}");
+            assert_eq!(err.to_wire().kind, *kind);
+            assert!(!err.to_string().is_empty());
+            assert_eq!(
+                err.is_retryable(),
+                *retryable,
+                "retryability drifted for {err:?}"
+            );
+            // Server-caused failures must never reuse a client-blame kind.
+            let client_kinds = ["bad_request", "unknown_region", "unknown_variable",
+                "bad_compression", "invalid_rank", "channel_mismatch", "not_patch_aligned",
+                "deadline_exceeded"];
+            match blame {
+                Blame::Client => assert!(client_kinds.contains(kind)),
+                Blame::Server => assert!(
+                    !client_kinds.contains(kind),
+                    "server-caused {err:?} leaked a client-blame kind"
+                ),
+            }
+        }
+        // Exhaustiveness: a new variant must be added to the table above.
+        for (err, _, _, _) in &table {
+            match err {
+                ServeError::BadRequest { .. }
+                | ServeError::UnknownRegion { .. }
+                | ServeError::UnknownVariable { .. }
+                | ServeError::BadCompression { .. }
+                | ServeError::Rejected(_)
+                | ServeError::QueueFull { .. }
+                | ServeError::ShuttingDown
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::Internal { .. } => {}
+            }
+        }
+        let wire = table[4].0.to_wire();
         assert_eq!(wire.kind, "invalid_rank");
         assert!(wire.message.contains("rank-2"));
+        let internal = ServeError::Internal { reason: "index out of bounds".into() }.to_wire();
+        assert!(internal.message.contains("index out of bounds"));
+    }
+
+    #[test]
+    fn request_deadline_roundtrips_and_defaults() {
+        let req = ServeRequest::region(5, "conus", 2).with_deadline_ms(250);
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(line.contains(r#""deadline_ms":250"#), "{line}");
+        let back: ServeRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        // Absent field means "server default" and is not emitted on the
+        // wire (pre-deadline clients and servers interoperate unchanged).
+        let default_req = ServeRequest::region(5, "conus", 2);
+        assert!(!serde_json::to_string(&default_req).unwrap().contains("deadline"));
+        let old: ServeRequest = serde_json::from_str(r#"{"id": 5, "region": "conus"}"#).unwrap();
+        assert_eq!(old.deadline_ms, None);
+    }
+
+    #[test]
+    fn health_roundtrip() {
+        let health =
+            ServeHealth { status: "draining".into(), inflight: 3, queue_depth: 7 };
+        assert!(!health.is_ok());
+        let line = serde_json::to_string(&health).unwrap();
+        assert!(line.contains(r#""status":"draining""#), "{line}");
+        let back: ServeHealth = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, health);
+        assert!(ServeHealth { status: "ok".into(), inflight: 0, queue_depth: 0 }.is_ok());
     }
 }

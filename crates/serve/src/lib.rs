@@ -24,9 +24,23 @@
 //!   `(region, time, variables, compression, scale)` with hit/miss
 //!   counters exposed through [`Server::cache_stats`].
 //!
+//! - **Resilience** — requests carry optional deadlines checked at
+//!   admission, dispatch (expired queued tiles are shed before any
+//!   forward runs), and stitch time; a panicking tile is quarantined by
+//!   re-running its cobatched neighbors in isolation so only the culprit
+//!   request fails (typed `internal`, never `bad_request`); and
+//!   [`Server::drain`] stops admission, lets queued work finish, then
+//!   completes stragglers with `shutting_down`. A [`orbit2::fault::FaultPlan`]
+//!   armed via `ORBIT2_SERVE_FAULT_PLAN` injects panics and stragglers
+//!   per (batch, job) to prove all of it under test. See DESIGN.md §10
+//!   "Failure semantics".
+//!
 //! The [`tcp`] module adds a newline-delimited-JSON front end over
 //! localhost TCP (see the `orbit2-serve` binary), with typed error
-//! replies carrying the stable `ServeError::kind` strings.
+//! replies carrying the stable `ServeError::kind` strings, a
+//! `{"cmd":"health"}` probe for load balancers, and a
+//! [`Client::submit_with_retry`] helper implementing the recommended
+//! jittered-backoff client loop.
 //!
 //! ```no_run
 //! use orbit2_serve::{Server, ServerConfig, Region};
@@ -49,4 +63,4 @@ pub mod tcp;
 pub use cache::CacheStats;
 pub use oneshot::Handle;
 pub use server::{Region, Server, ServerConfig, ServerStats};
-pub use tcp::{serve, Client, ServerReply};
+pub use tcp::{serve, Client, RetryPolicy, ServerReply};

@@ -6,7 +6,14 @@
 //!              [--tiles N] [--halo H] [--max-batch N] [--window-us N]
 //!              [--cache N] [--queue N] [--no-batching] [--seed N]
 //!              [--precision f32|bf16|int8] [--activation-precision f32|bf16]
+//!              [--default-deadline-ms N]
 //! ```
+//!
+//! `--default-deadline-ms` applies a server-side deadline to every
+//! request that does not carry its own `deadline_ms` field; expired work
+//! is shed before it runs and the request fails with the typed
+//! `deadline_exceeded` error. Setting `ORBIT2_SERVE_FAULT_PLAN` arms
+//! deterministic fault injection on the serve path (see DESIGN.md §10).
 //!
 //! The server hosts two synthetic regions, `conus` and `global`, over a
 //! Daymet-like variable set (7 inputs, 3 outputs) with a 4x refinement
@@ -37,6 +44,7 @@ struct Args {
     seed: u64,
     precision: SessionPrecision,
     activation: SessionActivation,
+    default_deadline_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -55,13 +63,15 @@ impl Default for Args {
             seed: 17,
             precision: SessionPrecision::F32,
             activation: SessionActivation::F32,
+            default_deadline_ms: None,
         }
     }
 }
 
 const USAGE: &str = "usage: orbit2-serve [--addr HOST:PORT] [--grid HxW] [--samples N] \
 [--tiles N] [--halo H] [--max-batch N] [--window-us N] [--cache N] [--queue N] \
-[--no-batching] [--seed N] [--precision f32|bf16|int8] [--activation-precision f32|bf16]";
+[--no-batching] [--seed N] [--precision f32|bf16|int8] [--activation-precision f32|bf16] \
+[--default-deadline-ms N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -104,6 +114,11 @@ fn parse_args() -> Result<Args, String> {
                 })?;
             }
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--default-deadline-ms" => {
+                args.default_deadline_ms =
+                    Some(parse_num(&value("--default-deadline-ms")?, "--default-deadline-ms")?
+                        as u64)
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -157,6 +172,9 @@ fn main() {
         batching: args.batching,
         precision: args.precision,
         activation: args.activation,
+        default_deadline_ms: args.default_deadline_ms,
+        // None arms injection from ORBIT2_SERVE_FAULT_PLAN when set.
+        fault_plan: None,
     };
     let server = Arc::new(Server::start(
         model,
@@ -178,7 +196,8 @@ fn main() {
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr);
     println!(
         "orbit2-serve listening on {bound} (regions: conus, global; coarse grid {}x{}; \
-         batching {}; max_batch {}; window {}us; cache {}; precision {}; activations {})",
+         batching {}; max_batch {}; window {}us; cache {}; precision {}; activations {}; \
+         default deadline {})",
         h / factor,
         w / factor,
         if args.batching { "on" } else { "off" },
@@ -187,6 +206,10 @@ fn main() {
         args.cache,
         args.precision.label(),
         args.activation.label(),
+        match args.default_deadline_ms {
+            Some(ms) => format!("{ms}ms"),
+            None => "none".into(),
+        },
     );
     if let Err(e) = orbit2_serve::serve(server, listener) {
         eprintln!("listener error: {e}");

@@ -20,13 +20,25 @@ impl Oneshot {
         Arc::new(Self { slot: Mutex::new(None), ready: Condvar::new() })
     }
 
-    /// Fill the slot (first writer wins) and wake every waiter.
-    pub(crate) fn complete(&self, result: Result<ServeResponse, ServeError>) {
+    /// Fill the slot (first writer wins) and wake every waiter. Returns
+    /// `true` when this call was the one that completed the request —
+    /// callers use it to count terminal outcomes exactly once even when a
+    /// drain races normal completion or a deadline check.
+    pub(crate) fn complete(&self, result: Result<ServeResponse, ServeError>) -> bool {
         let mut slot = self.slot.lock().unwrap();
         if slot.is_none() {
             *slot = Some(result);
             self.ready.notify_all();
+            true
+        } else {
+            false
         }
+    }
+
+    /// Whether the request already reached a terminal state (used to skip
+    /// compute for requests a deadline or drain has already failed).
+    pub(crate) fn is_complete(&self) -> bool {
+        self.slot.lock().unwrap().is_some()
     }
 }
 
@@ -125,5 +137,71 @@ mod tests {
         assert!(handle.wait_timeout(Duration::from_millis(10)).is_none());
         slot.complete(Ok(resp(2)));
         assert!(handle.wait_timeout(Duration::from_millis(10)).is_some());
+    }
+
+    /// The drain race: a client blocked in `wait_timeout` while `drain`
+    /// completes the request with `ShuttingDown` must observe exactly one
+    /// terminal result, and later polls must agree with it.
+    #[test]
+    fn drain_completion_during_wait_timeout_delivers_exactly_one_result() {
+        let slot = Oneshot::new();
+        let handle = Handle::new(4, Arc::clone(&slot));
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait_timeout(Duration::from_secs(10)))
+        };
+        // Give the waiter time to actually block inside wait_timeout.
+        std::thread::sleep(Duration::from_millis(20));
+        // Drain completes the request...
+        assert!(slot.complete(Err(ServeError::ShuttingDown)), "drain must win the empty slot");
+        // ...and a straggling worker finishing the same request afterwards
+        // must lose the race without disturbing the delivered result.
+        assert!(!slot.complete(Ok(resp(4))), "late completion must not win");
+        let seen = waiter.join().unwrap().expect("waiter must wake with a result");
+        assert_eq!(seen.unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(handle.wait().unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(handle.try_get().unwrap().unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    /// Many completers racing one slot: exactly one `complete` call wins,
+    /// and every waiter sees that single winner.
+    #[test]
+    fn concurrent_completers_produce_exactly_one_winner() {
+        for round in 0..20u64 {
+            let slot = Oneshot::new();
+            let handle = Handle::new(round, Arc::clone(&slot));
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    let handle = handle.clone();
+                    std::thread::spawn(move || handle.wait())
+                })
+                .collect();
+            let completers: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let slot = Arc::clone(&slot);
+                    std::thread::spawn(move || {
+                        let result = if i % 2 == 0 {
+                            Ok(resp(i))
+                        } else {
+                            Err(ServeError::ShuttingDown)
+                        };
+                        slot.complete(result)
+                    })
+                })
+                .collect();
+            let wins =
+                completers.into_iter().map(|c| c.join().unwrap()).filter(|won| *won).count();
+            assert_eq!(wins, 1, "exactly one completion must win (round {round})");
+            assert!(slot.is_complete());
+            let winner = handle.try_get().unwrap();
+            for waiter in waiters {
+                let seen = waiter.join().unwrap();
+                assert_eq!(
+                    seen.as_ref().map(|r| r.id).map_err(|e| e.kind()),
+                    winner.as_ref().map(|r| r.id).map_err(|e| e.kind()),
+                    "every waiter must observe the single winning result"
+                );
+            }
+        }
     }
 }

@@ -18,26 +18,39 @@
 //! batcher picks tiles **round-robin across requests** instead of FIFO —
 //! a 64-tile request cannot starve a 1-tile request that arrived just
 //! after it; the small request's tile rides the very next batch.
+//!
+//! Resilience (see DESIGN.md §10 "Failure semantics"): requests may carry
+//! a **deadline** checked at admission, at dispatch (expired queued tiles
+//! are shed before any forward runs), and at stitch time; a panicking
+//! batched forward triggers **panic quarantine** — every tile job of the
+//! poisoned batch re-executes in isolation so only the culprit request
+//! fails (with a typed `internal` error) while cobatched innocents
+//! complete normally; a [`FaultPlan`] (config field or
+//! `ORBIT2_SERVE_FAULT_PLAN`) injects deterministic panics/stragglers per
+//! `(batch, job)` to prove all of it under test; and [`Server::drain`]
+//! stops admission, lets in-flight work finish, and completes stragglers
+//! with `shutting_down`.
 
 use crate::cache::{CacheKey, CacheStats, CachedPayload, ResponseCache};
 use crate::oneshot::{Handle, Oneshot};
+use orbit2::fault::{FaultKind, FaultPlan};
 use orbit2::inference::validate_input;
 use orbit2::serving::{RequestSource, ServeError, ServeRequest, ServeResponse};
 use orbit2::tiling::{split_stack, stitch_predictions};
 use orbit2_climate::{DownscalingDataset, Normalizer};
 use orbit2_imaging::tiles::{TileGeometry, TileSpec};
-use orbit2::serving::ServeStats;
+use orbit2::serving::{ServeHealth, ServeStats};
 use orbit2_model::{InferenceSession, ReslimModel};
 use orbit2_tensor::fused::{ActivationPrecision, WeightPrecision};
 use orbit2_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Serving knobs. The defaults suit the CPU-scale models in this repo;
 /// every knob is exercised by tests or the serving bench.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// How request inputs are split into tile jobs (`None` = whole-sample
     /// jobs). Smaller tiles mean more cross-request batching opportunity.
@@ -62,6 +75,17 @@ pub struct ServerConfig {
     /// explicitly. Together with `precision` this names the session cell
     /// warmed at startup.
     pub activation: ActivationPrecision,
+    /// Deadline applied to requests that don't carry a wire `deadline_ms`
+    /// of their own (`None` = no deadline). Measured from admission;
+    /// expired work is shed at admission, dispatch, and stitch time.
+    pub default_deadline_ms: Option<u64>,
+    /// Fault-injection schedule for chaos testing the serve path. `None`
+    /// arms from the `ORBIT2_SERVE_FAULT_PLAN` environment variable (the
+    /// serving twin of the trainer's `ORBIT2_FAULT_PLAN`); pass
+    /// `Some(FaultPlan::none())` to pin a server fault-free regardless of
+    /// the environment. Coordinates are `(batch, job)`: the dispatch
+    /// ordinal of the executed batch and the job's position within it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +99,8 @@ impl Default for ServerConfig {
             batching: true,
             precision: WeightPrecision::F32,
             activation: ActivationPrecision::F32,
+            default_deadline_ms: None,
+            fault_plan: None,
         }
     }
 }
@@ -103,7 +129,13 @@ pub(crate) struct RequestState {
     parts: Mutex<Vec<Option<(TileGeometry, Tensor)>>>,
     max_batch_seen: AtomicUsize,
     started: Instant,
-    done: Arc<Oneshot>,
+    /// Absolute deadline (admission time + effective `deadline_ms`), if
+    /// the request or the server default set one.
+    deadline: Option<Instant>,
+    /// The effective deadline in milliseconds (for the error payload;
+    /// meaningful only when `deadline` is `Some`).
+    deadline_ms: u64,
+    pub(crate) done: Arc<Oneshot>,
     cache_key: Option<CacheKey>,
     var_sel: Option<Vec<usize>>,
     /// In-flight accounting: decremented when the state drops, which is
@@ -155,7 +187,23 @@ pub struct ServerStats {
     pub batches: u64,
     /// Tile jobs that ran in a batch of size >= 2.
     pub batched_jobs: u64,
+    /// Tile jobs recovered by an isolated quarantine retry.
+    pub retried_jobs: u64,
+    /// Tile jobs that panicked again in isolation (culprits).
+    pub quarantined_jobs: u64,
+    /// Queued tile jobs shed at dispatch because their deadline expired.
+    pub shed_jobs: u64,
+    /// Requests that terminated with `deadline_exceeded`.
+    pub deadline_expired: u64,
 }
+
+/// Lifecycle states: admission is open only while `RUNNING`; `DRAINING`
+/// sheds new requests while queued/in-flight work completes; `STOPPED`
+/// makes the batcher fail everything still queued with `shutting_down`
+/// and exit.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
 
 struct Inner {
     model: ReslimModel,
@@ -171,11 +219,18 @@ struct Inner {
     cache: ResponseCache,
     inflight: Arc<AtomicUsize>,
     next_seq: AtomicU64,
-    shutdown: AtomicBool,
+    /// One of `RUNNING` / `DRAINING` / `STOPPED`; only moves forward.
+    state: AtomicU8,
+    /// The resolved fault-injection schedule (empty when unarmed).
+    fault_plan: FaultPlan,
     admitted: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
+    retried_jobs: AtomicU64,
+    quarantined_jobs: AtomicU64,
+    shed_jobs: AtomicU64,
+    deadline_expired: AtomicU64,
     /// Completed requests (cache hits included) per weight-precision slot.
     requests_by_precision: [AtomicU64; 3],
     /// Completed requests (cache hits included) per activation-precision
@@ -222,6 +277,14 @@ impl Server {
         regions: Vec<Region>,
         cfg: ServerConfig,
     ) -> Self {
+        let (precision, activation) = (cfg.precision, cfg.activation);
+        let cache = ResponseCache::new(cfg.cache_capacity);
+        // An explicit plan (even `FaultPlan::none()`) beats the env knob.
+        let fault_plan = cfg
+            .fault_plan
+            .clone()
+            .or_else(FaultPlan::from_serve_env)
+            .unwrap_or_default();
         let inner = Arc::new(Inner {
             model,
             sessions: std::array::from_fn(|_| OnceLock::new()),
@@ -230,20 +293,25 @@ impl Server {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
-            cache: ResponseCache::new(cfg.cache_capacity),
+            cache,
             inflight: Arc::new(AtomicUsize::new(0)),
             next_seq: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
+            state: AtomicU8::new(RUNNING),
+            fault_plan,
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
+            retried_jobs: AtomicU64::new(0),
+            quarantined_jobs: AtomicU64::new(0),
+            shed_jobs: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             requests_by_precision: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             requests_by_activation: [AtomicU64::new(0), AtomicU64::new(0)],
         });
         // Warm the default-cell session so the first request doesn't pay
         // weight packing.
-        inner.session_for(cfg.precision, cfg.activation);
+        inner.session_for(precision, activation);
         let worker = Arc::clone(&inner);
         let batcher = std::thread::Builder::new()
             .name("orbit2-serve-batcher".into())
@@ -285,6 +353,10 @@ impl Server {
             pool_fresh_allocs: pool.fresh_allocs,
             pool_reuses: pool.reuses,
             pool_copies: pool.copies,
+            retried_jobs: self.inner.retried_jobs.load(Ordering::Relaxed),
+            quarantined_jobs: self.inner.quarantined_jobs.load(Ordering::Relaxed),
+            shed_jobs: self.inner.shed_jobs.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -295,6 +367,10 @@ impl Server {
             completed: self.inner.completed.load(Ordering::Relaxed),
             batches: self.inner.batches.load(Ordering::Relaxed),
             batched_jobs: self.inner.batched_jobs.load(Ordering::Relaxed),
+            retried_jobs: self.inner.retried_jobs.load(Ordering::Relaxed),
+            quarantined_jobs: self.inner.quarantined_jobs.load(Ordering::Relaxed),
+            shed_jobs: self.inner.shed_jobs.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -303,19 +379,70 @@ impl Server {
         self.inner.model.cfg.scale_factor
     }
 
+    /// Requests admitted and not yet terminal. Returns to zero once every
+    /// submitted request has reached exactly one terminal state and its
+    /// bookkeeping has left the system — the chaos harness's invariant.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Tile jobs queued and not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// The load balancer's health snapshot (`{"cmd": "health"}` payload).
+    pub fn health(&self) -> ServeHealth {
+        ServeHealth {
+            status: if self.is_shutting_down() { "draining" } else { "ok" }.into(),
+            inflight: self.inflight() as u64,
+            queue_depth: self.queue_depth() as u64,
+        }
+    }
+
+    /// Graceful drain: stop admitting new requests immediately (they get
+    /// [`ServeError::ShuttingDown`]), let queued and in-flight work keep
+    /// completing, and once the server is idle — or `timeout` elapses —
+    /// stop the batcher, which completes every straggler still queued with
+    /// `ShuttingDown`. Returns `true` when the drain finished cleanly
+    /// (inflight reached zero before the timeout). Idempotent; safe to
+    /// race with `shutdown`.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        // Close admission without downgrading an already-stopped server.
+        let _ = self.inner.state.compare_exchange(
+            RUNNING,
+            DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        let deadline = Instant::now() + timeout;
+        let drained = loop {
+            if self.inner.inflight.load(Ordering::SeqCst) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        self.shutdown();
+        drained
+    }
+
     /// Stop admitting work and fail everything still queued with
     /// [`ServeError::ShuttingDown`]. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.state.store(STOPPED, Ordering::SeqCst);
         self.inner.work_ready.notify_all();
         if let Some(handle) = self.batcher.lock().unwrap().take() {
             let _ = handle.join();
         }
     }
 
-    /// Whether [`Server::shutdown`] has been called.
+    /// Whether admission is closed ([`Server::shutdown`] or
+    /// [`Server::drain`] has been called).
     pub fn is_shutting_down(&self) -> bool {
-        self.inner.shutdown.load(Ordering::SeqCst)
+        self.inner.state.load(Ordering::SeqCst) != RUNNING
     }
 }
 
@@ -353,11 +480,24 @@ impl Inner {
         started: Instant,
         slot: &Arc<Oneshot>,
     ) -> Result<(), ServeError> {
-        if self.shutdown.load(Ordering::SeqCst) {
+        if self.state.load(Ordering::SeqCst) != RUNNING {
             return Err(ServeError::ShuttingDown);
         }
         if req.compression < 1.0 || !req.compression.is_finite() {
             return Err(ServeError::BadCompression { got: req.compression });
+        }
+        // Admission deadline checkpoint: a request whose deadline has
+        // already passed (deadline_ms of 0, or a stalled accept queue)
+        // never costs a tensor resolve, let alone a forward.
+        let deadline_ms = req.deadline_ms.or(self.cfg.default_deadline_ms);
+        let deadline = deadline_ms.map(|ms| started + Duration::from_millis(ms));
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded {
+                    deadline_ms: deadline_ms.unwrap_or(0),
+                });
+            }
         }
         let precision = req.precision.unwrap_or(self.cfg.precision);
         let activation = req.activation.unwrap_or(self.cfg.activation);
@@ -457,6 +597,8 @@ impl Inner {
             parts: Mutex::new(vec![None; tiles.len()]),
             max_batch_seen: AtomicUsize::new(0),
             started,
+            deadline,
+            deadline_ms: deadline_ms.unwrap_or(0),
             done: Arc::clone(slot),
             cache_key,
             var_sel,
@@ -464,6 +606,18 @@ impl Inner {
         });
         {
             let mut queue = self.queue.lock().unwrap();
+            // Shutdown race: the RUNNING check at the top of admission can
+            // pass just before `drain` observes inflight == 0 (ours is not
+            // counted yet) and stops the batcher. Re-checking under the
+            // queue lock closes the hole: the batcher's final
+            // fail-the-leftovers sweep also runs under this lock, so either
+            // we see STOPPED here and reject, or the sweep sees our jobs
+            // and completes them with `ShuttingDown`. Without this, tiles
+            // enqueued after the batcher exits would strand their request
+            // in a never-terminal state.
+            if self.state.load(Ordering::SeqCst) == STOPPED {
+                return Err(ServeError::ShuttingDown);
+            }
             for (tile_index, (geom, tile_input)) in tiles.into_iter().enumerate() {
                 let key = JobKey {
                     h: tile_input.shape()[1],
@@ -487,20 +641,50 @@ impl Inner {
     }
 }
 
-/// The dispatcher/batcher loop: wait for work, give same-shaped jobs a
-/// microbatch window to accumulate, pick a fair batch, hand it to the
-/// worker registry, repeat.
+/// Dispatch deadline checkpoint: drop every queued tile whose request
+/// deadline has already passed, completing the request with
+/// `DeadlineExceeded`, *before* any forward is picked — the client gave
+/// up, so the server spends nothing more on it. Runs under the queue
+/// lock on every batcher wakeup.
+fn shed_expired(shed_jobs: &AtomicU64, deadline_expired: &AtomicU64, queue: &mut VecDeque<TileJob>) {
+    if queue.iter().all(|j| j.req.deadline.is_none()) {
+        return;
+    }
+    let now = Instant::now();
+    let mut i = 0;
+    while i < queue.len() {
+        let expired = queue[i].req.deadline.is_some_and(|d| now >= d);
+        if !expired {
+            i += 1;
+            continue;
+        }
+        let job = queue.remove(i).expect("index checked in range");
+        shed_jobs.fetch_add(1, Ordering::Relaxed);
+        let err = ServeError::DeadlineExceeded { deadline_ms: job.req.deadline_ms };
+        deadline_expired.fetch_add(1, Ordering::Relaxed);
+        if !job.req.done.complete(Err(err)) {
+            deadline_expired.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The dispatcher/batcher loop: wait for work, shed expired tiles, give
+/// same-shaped jobs a microbatch window to accumulate, pick a fair batch,
+/// hand it to the worker registry, repeat.
 fn batcher_loop(inner: Arc<Inner>) {
     loop {
         let batch = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
-                if inner.shutdown.load(Ordering::SeqCst) {
+                // DRAINING keeps dispatching (queued work must finish);
+                // only STOPPED fails the leftovers and exits.
+                if inner.state.load(Ordering::SeqCst) == STOPPED {
                     for job in queue.drain(..) {
                         job.req.done.complete(Err(ServeError::ShuttingDown));
                     }
                     return;
                 }
+                shed_expired(&inner.shed_jobs, &inner.deadline_expired, &mut queue);
                 let Some(front) = queue.front() else {
                     let (guard, _) = inner
                         .work_ready
@@ -571,29 +755,56 @@ pub(crate) fn collect_batch(queue: &mut VecDeque<TileJob>, max_batch: usize) -> 
     out
 }
 
+/// Render a panic payload into a human-readable reason string.
+fn panic_reason(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into())
+}
+
+/// Run the (possibly batched) forward for `jobs`, returning one prediction
+/// per job. Stackable jobs share a `JobKey`, hence a single session cell.
+fn run_forward(inner: &Inner, jobs: &[TileJob]) -> Vec<Tensor> {
+    if jobs.len() > 1 {
+        let session = inner.session_for(jobs[0].req.precision, jobs[0].req.activation);
+        let refs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
+        orbit2_model::forward_batch(&inner.model, session, &refs, jobs[0].req.compression)
+            .into_iter()
+            .map(|(pred, _)| pred)
+            .collect()
+    } else {
+        jobs.iter()
+            .map(|j| {
+                let session = inner.session_for(j.req.precision, j.req.activation);
+                inner.model.forward(session, &j.input, j.req.compression).0.into_tensor()
+            })
+            .collect()
+    }
+}
+
 fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
+    // Requests already terminal (deadline hit, drain, an earlier tile's
+    // quarantine verdict) get no further compute; dropping their jobs here
+    // also releases their inflight bookkeeping promptly.
+    let jobs: Vec<TileJob> = jobs.into_iter().filter(|j| !j.req.done.is_complete()).collect();
     let n = jobs.len();
-    inner.batches.fetch_add(1, Ordering::Relaxed);
+    if n == 0 {
+        return;
+    }
+    // The batch ordinal is the fault plan's first coordinate: assigned
+    // once per executed batch, never by retries, so an armed plan draws
+    // the same fault for the same (batch, job) on every run.
+    let batch_index = inner.batches.fetch_add(1, Ordering::Relaxed) as usize;
     if n > 1 {
         inner.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
     }
+    let faults: Vec<Option<FaultKind>> =
+        (0..n).map(|j| inner.fault_plan.lookup(batch_index, j)).collect();
     let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Vec<Tensor> {
-        if n > 1 {
-            // Stackable jobs share a `JobKey`, hence a single session cell.
-            let session = inner.session_for(jobs[0].req.precision, jobs[0].req.activation);
-            let refs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
-            orbit2_model::forward_batch(&inner.model, session, &refs, jobs[0].req.compression)
-                .into_iter()
-                .map(|(pred, _)| pred)
-                .collect()
-        } else {
-            jobs.iter()
-                .map(|j| {
-                    let session = inner.session_for(j.req.precision, j.req.activation);
-                    inner.model.forward(session, &j.input, j.req.compression).0.into_tensor()
-                })
-                .collect()
-        }
+        inject_faults(batch_index, &faults);
+        run_forward(inner, &jobs)
     }));
     match forward {
         Ok(preds) => {
@@ -601,16 +812,76 @@ fn execute_batch(inner: &Inner, jobs: Vec<TileJob>) {
                 finish_tile(inner, job, pred, n);
             }
         }
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".into());
-            for job in &jobs {
-                job.req.done.complete(Err(ServeError::BadRequest {
-                    reason: format!("execution failed: {msg}"),
-                }));
+        Err(panic) => quarantine(inner, jobs, batch_index, panic_reason(panic)),
+    }
+}
+
+/// Apply the injected faults drawn for one batch: stragglers stall the
+/// executing worker (the batch completes late, exercising the deadline
+/// checkpoints), a panic poisons the whole batch (exercising quarantine).
+/// `NaNGradient` has no serving meaning — no gradients flow — and is
+/// ignored. Runs inside the `catch_unwind` boundary.
+fn inject_faults(batch_index: usize, faults: &[Option<FaultKind>]) {
+    for (j, fault) in faults.iter().enumerate() {
+        match fault {
+            Some(FaultKind::Straggler(ms)) => {
+                std::thread::sleep(Duration::from_millis(*ms));
+            }
+            Some(FaultKind::Panic) => {
+                panic!("injected fault: panic (batch {batch_index}, job {j})");
+            }
+            Some(FaultKind::NaNGradient) | None => {}
+        }
+    }
+}
+
+/// Panic quarantine. A batched forward panicked — one tile poisoned the
+/// batch, but the cobatched requests are innocent, and before this layer
+/// existed every one of them died with a misclassified `BadRequest`.
+/// Re-execute each tile job in isolation under its own `catch_unwind`:
+/// jobs that now complete rejoin their requests as if nothing happened
+/// (`retried_jobs`); jobs that panic again are the culprits, and each one
+/// fails exactly its own request with a typed `internal` error
+/// (`quarantined_jobs`). Injected faults are transient by default (the
+/// isolated retry runs clean, mirroring the trainer's retry-then-drop);
+/// a `persistent=1` plan re-applies the injection so the culprit stays
+/// dead and the isolation guarantee itself is testable.
+fn quarantine(inner: &Inner, jobs: Vec<TileJob>, batch_index: usize, first_reason: String) {
+    for (j, job) in jobs.into_iter().enumerate() {
+        if job.req.done.is_complete() {
+            continue;
+        }
+        let injected = if inner.fault_plan.is_persistent() {
+            inner.fault_plan.lookup(batch_index, j)
+        } else {
+            None
+        };
+        let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Tensor {
+            match injected {
+                Some(FaultKind::Straggler(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: persistent panic (batch {batch_index}, job {j})")
+                }
+                Some(FaultKind::NaNGradient) | None => {}
+            }
+            run_forward(inner, std::slice::from_ref(&job))
+                .pop()
+                .expect("single-job forward yields one prediction")
+        }));
+        match retry {
+            Ok(pred) => {
+                inner.retried_jobs.fetch_add(1, Ordering::Relaxed);
+                // The isolated rerun executed alone: batch size 1.
+                finish_tile(inner, job, pred, 1);
+            }
+            Err(panic) => {
+                inner.quarantined_jobs.fetch_add(1, Ordering::Relaxed);
+                let reason = format!(
+                    "tile job panicked and failed its isolated retry: {} \
+                     (batch failure: {first_reason})",
+                    panic_reason(panic)
+                );
+                job.req.done.complete(Err(ServeError::Internal { reason }));
             }
         }
     }
@@ -624,6 +895,23 @@ fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
         parts[job.tile_index] = Some((job.geom, pred));
     }
     if req.remaining.fetch_sub(1, Ordering::SeqCst) != 1 {
+        return;
+    }
+    // Stitch-time deadline checkpoint: a result the client stopped
+    // waiting for is not stitched, denormalized, or cached — the compute
+    // already spent is sunk, but no more is added.
+    if let Some(d) = req.deadline {
+        if Instant::now() >= d {
+            let err = ServeError::DeadlineExceeded { deadline_ms: req.deadline_ms };
+            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            if !req.done.complete(Err(err)) {
+                inner.deadline_expired.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    }
+    if req.done.is_complete() {
+        // A drain or an earlier tile's quarantine verdict beat us here.
         return;
     }
     // Last tile home: stitch, denormalize, select, cache, complete.
@@ -649,10 +937,13 @@ fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
             CachedPayload { shape: output.shape().to_vec(), data: output.data().to_vec() },
         );
     }
+    // Counters tick *before* the completion wakes the waiter, so a client
+    // reading stats right after `wait()` returns sees them; if a drain
+    // won the race instead, roll the speculative ticks back.
     inner.completed.fetch_add(1, Ordering::Relaxed);
     inner.requests_by_precision[precision_slot(req.precision)].fetch_add(1, Ordering::Relaxed);
     inner.requests_by_activation[act_slot(req.activation)].fetch_add(1, Ordering::Relaxed);
-    req.done.complete(Ok(ServeResponse {
+    let won = req.done.complete(Ok(ServeResponse {
         id: req.id,
         shape: output.shape().to_vec(),
         data: output.data().to_vec(),
@@ -660,6 +951,11 @@ fn finish_tile(inner: &Inner, job: TileJob, pred: Tensor, batch_size: usize) {
         batch: req.max_batch_seen.load(Ordering::SeqCst),
         micros: req.started.elapsed().as_micros() as u64,
     }));
+    if !won {
+        inner.completed.fetch_sub(1, Ordering::Relaxed);
+        inner.requests_by_precision[precision_slot(req.precision)].fetch_sub(1, Ordering::Relaxed);
+        inner.requests_by_activation[act_slot(req.activation)].fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -667,6 +963,15 @@ mod tests {
     use super::*;
 
     fn fake_state(seq: u64, tiles: usize, inflight: &Arc<AtomicUsize>) -> Arc<RequestState> {
+        fake_state_deadline(seq, tiles, inflight, None)
+    }
+
+    fn fake_state_deadline(
+        seq: u64,
+        tiles: usize,
+        inflight: &Arc<AtomicUsize>,
+        deadline: Option<Instant>,
+    ) -> Arc<RequestState> {
         inflight.fetch_add(1, Ordering::SeqCst);
         Arc::new(RequestState {
             id: seq,
@@ -680,6 +985,8 @@ mod tests {
             parts: Mutex::new(vec![None; tiles]),
             max_batch_seen: AtomicUsize::new(0),
             started: Instant::now(),
+            deadline,
+            deadline_ms: if deadline.is_some() { 1 } else { 0 },
             done: Oneshot::new(),
             cache_key: None,
             var_sel: None,
@@ -751,6 +1058,54 @@ mod tests {
         let batch = collect_batch(&mut queue, 1);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].tile_index, 0);
+    }
+
+    /// The dispatch checkpoint: expired queued tiles are removed before
+    /// any forward runs, the request completes with `DeadlineExceeded`
+    /// exactly once, and unexpired work is untouched.
+    #[test]
+    fn shed_expired_drops_only_expired_tiles_and_completes_once() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let expired = fake_state_deadline(
+            0,
+            2,
+            &inflight,
+            Some(Instant::now() - Duration::from_millis(5)),
+        );
+        let fresh = fake_state_deadline(
+            1,
+            1,
+            &inflight,
+            Some(Instant::now() + Duration::from_secs(60)),
+        );
+        let no_deadline = fake_state(2, 1, &inflight);
+        let mut queue: VecDeque<TileJob> = VecDeque::new();
+        queue.push_back(job(&expired, 0, 4));
+        queue.push_back(job(&fresh, 0, 4));
+        queue.push_back(job(&expired, 1, 4));
+        queue.push_back(job(&no_deadline, 0, 4));
+        let shed_jobs = AtomicU64::new(0);
+        let deadline_expired = AtomicU64::new(0);
+        shed_expired(&shed_jobs, &deadline_expired, &mut queue);
+        assert_eq!(queue.len(), 2, "only the two expired tiles are shed");
+        assert!(queue.iter().all(|j| j.req.seq != 0));
+        assert_eq!(shed_jobs.load(Ordering::Relaxed), 2, "shed_jobs counts tiles");
+        assert_eq!(
+            deadline_expired.load(Ordering::Relaxed),
+            1,
+            "deadline_expired counts requests, not tiles"
+        );
+        let verdict = crate::oneshot::Handle::new(0, Arc::clone(&expired.done));
+        assert_eq!(
+            verdict.try_get().unwrap().unwrap_err(),
+            ServeError::DeadlineExceeded { deadline_ms: 1 }
+        );
+        assert!(!fresh.done.is_complete());
+        assert!(!no_deadline.done.is_complete());
+        // Idempotent on the survivors: a second sweep sheds nothing.
+        shed_expired(&shed_jobs, &deadline_expired, &mut queue);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(shed_jobs.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -13,19 +13,29 @@
 //! one of the stable [`ServeError::kind`] strings.
 //!
 //! Besides requests, a connection may send control lines of the form
-//! `{"cmd": "..."}`. The only command today is `stats`, answered
-//! immediately (in line order with any pipelined requests) with a
-//! serialized [`ServeStats`] object.
+//! `{"cmd": "..."}`. Commands today: `stats` (a serialized
+//! [`ServeStats`] object) and `health` (a serialized [`ServeHealth`]
+//! for load balancers: `{"status": "ok"|"draining", inflight,
+//! queue_depth}`). Control replies ride the same FIFO as pipelined
+//! request replies, so they arrive in line order.
+//!
+//! During a [`Server::drain`] the accept loop refuses new connections
+//! while existing connections keep their writer threads, so every
+//! already-submitted request flushes its FIFO reply (a response or a
+//! typed `shutting_down` error) before the stream closes.
 
 use crate::oneshot::Handle;
 use crate::server::Server;
-use orbit2::serving::{ServeError, ServeRequest, ServeResponse, ServeStats, WireError};
+use orbit2::serving::{ServeError, ServeHealth, ServeRequest, ServeResponse, ServeStats, WireError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Render one finished request as a wire line (no trailing newline).
 pub fn response_line(id: u64, result: &Result<ServeResponse, ServeError>) -> String {
@@ -89,6 +99,7 @@ enum Outgoing {
 fn control_line(server: &Server, cmd: &str) -> String {
     match cmd {
         "stats" => serde_json::to_string(&server.serve_stats()).expect("stats serialize"),
+        "health" => serde_json::to_string(&server.health()).expect("health serializes"),
         other => response_line(
             0,
             &Err(ServeError::BadRequest { reason: format!("unknown cmd {other:?}") }),
@@ -147,10 +158,16 @@ fn handle_conn(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<()> {
 
 /// Serve connections from `listener` until the process exits. Each
 /// connection runs on its own thread; the call itself never returns
-/// unless the listener errors.
+/// unless the listener errors. Once the server starts draining, new
+/// connections are closed without a handler — existing connections keep
+/// flushing their FIFO replies until their clients hang up.
 pub fn serve(server: Arc<Server>, listener: TcpListener) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
+        if server.is_shutting_down() {
+            drop(stream);
+            continue;
+        }
         stream.set_nodelay(true).ok();
         let server = Arc::clone(&server);
         std::thread::spawn(move || {
@@ -158,6 +175,55 @@ pub fn serve(server: Arc<Server>, listener: TcpListener) -> std::io::Result<()> 
         });
     }
     Ok(())
+}
+
+/// Backoff schedule for [`Client::submit_with_retry`]: full-jitter
+/// exponential backoff over `queue_full` / `shutting_down` replies.
+/// The sleep before attempt `k` (k ≥ 1) is uniform in
+/// `[0, min(max_delay, base_delay · 2^(k-1))]`, drawn from a ChaCha8
+/// stream seeded with `seed ^ request id` — deterministic for tests,
+/// decorrelated across requests in a retry storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 behaves like 1).
+    pub max_attempts: u32,
+    /// Backoff cap before jitter for the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on the pre-jitter backoff window.
+    pub max_delay: Duration,
+    /// Jitter seed; mixed with the request id.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x0b17_2e72,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry attempt `attempt` (1-based count
+    /// of retries already earned). Exposed for tests: the schedule is a
+    /// pure function of (policy, request id, attempt).
+    pub fn backoff(&self, request_id: u64, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32);
+        let window = self
+            .base_delay
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.max_delay)
+            .as_nanos() as u64;
+        if window == 0 {
+            return Duration::ZERO;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ request_id ^ (u64::from(attempt) << 48));
+        Duration::from_nanos(rng.gen_range(0..window))
+    }
 }
 
 /// A blocking line-protocol client for tests, the bench, and scripting.
@@ -205,9 +271,52 @@ impl Client {
         self.recv()
     }
 
-    /// Query the server's cache/precision counters.
+    /// Query the server's cache/precision/resilience counters.
     pub fn stats(&mut self) -> std::io::Result<ServeStats> {
         self.send_line(r#"{"cmd":"stats"}"#)?;
+        serde_json::from_str(self.recv_line()?.trim_end()).map_err(std::io::Error::other)
+    }
+
+    /// Query the server's health: `"ok"` or `"draining"` plus inflight
+    /// and queue-depth gauges, for load balancers deciding where to send
+    /// traffic.
+    pub fn health(&mut self) -> std::io::Result<ServeHealth> {
+        self.send_line(r#"{"cmd":"health"}"#)?;
+        serde_json::from_str(self.recv_line()?.trim_end()).map_err(std::io::Error::other)
+    }
+
+    /// Send `req`, retrying on the transient rejections `queue_full` and
+    /// `shutting_down` with the policy's jittered exponential backoff.
+    /// This is the recommended client loop: overload and drains are
+    /// normal operating states, and a bounded backoff rides them out
+    /// without hammering the server. Non-retryable errors and successful
+    /// responses return immediately; when attempts run out the last
+    /// retryable error is returned as a normal [`ServerReply::Error`].
+    pub fn submit_with_retry(
+        &mut self,
+        req: &ServeRequest,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ServerReply> {
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let reply = self.roundtrip(req)?;
+            let retryable = matches!(
+                &reply,
+                ServerReply::Error { error, .. }
+                    if error.kind == "queue_full" || error.kind == "shutting_down"
+            );
+            if !retryable || attempt >= attempts {
+                return Ok(reply);
+            }
+            std::thread::sleep(policy.backoff(req.id, attempt));
+        }
+    }
+
+    /// Read the next raw reply line verbatim — for pipelined control
+    /// replies ([`Client::recv`] only parses request replies).
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
@@ -216,7 +325,7 @@ impl Client {
                 "server closed the connection",
             ));
         }
-        serde_json::from_str(line.trim_end()).map_err(std::io::Error::other)
+        Ok(line)
     }
 }
 
@@ -239,6 +348,30 @@ mod tests {
             ServerReply::Response(got) => assert_eq!(got, resp),
             other => panic!("expected a response, got {other:?}"),
         }
+    }
+
+    /// The retry schedule is a pure function of (policy, id, attempt):
+    /// deterministic for tests, capped by the policy, decorrelated
+    /// across request ids.
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_id_decorrelated() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=6u32 {
+            let a = policy.backoff(42, attempt);
+            assert_eq!(a, policy.backoff(42, attempt), "same inputs, same jitter");
+            let cap = policy
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1))
+                .min(policy.max_delay);
+            assert!(a <= cap, "attempt {attempt}: {a:?} exceeds cap {cap:?}");
+        }
+        assert_ne!(
+            policy.backoff(1, 3),
+            policy.backoff(2, 3),
+            "different requests draw different jitter"
+        );
+        let zero = RetryPolicy { base_delay: Duration::ZERO, ..RetryPolicy::default() };
+        assert_eq!(zero.backoff(7, 1), Duration::ZERO);
     }
 
     #[test]

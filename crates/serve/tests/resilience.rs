@@ -1,0 +1,315 @@
+//! Deterministic resilience tests: deadline checkpoints (admission,
+//! dispatch, stitch), panic quarantine with isolated retry, graceful
+//! drain, and the health snapshot. Every fault here is an explicit
+//! `FaultPlan` event, so each test exercises exactly one checkpoint.
+
+use orbit2::fault::{FaultKind, FaultPlan};
+use orbit2::inference::downscale_with;
+use orbit2::serving::{ServeError, ServeRequest};
+use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
+use orbit2_model::{ModelConfig, ReslimModel};
+use orbit2_serve::{Region, Server, ServerConfig};
+use orbit2_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+fn setup() -> (ReslimModel, Normalizer, DownscalingDataset) {
+    let ds =
+        DownscalingDataset::new(LatLonGrid::conus(16, 32), VariableSet::daymet_like(), 4, 10, 3);
+    let model = ReslimModel::new(ModelConfig::tiny().with_channels(7, 3), 2);
+    let norm = Normalizer::fit(&ds, 4);
+    (model, norm, ds)
+}
+
+fn start(cfg: ServerConfig) -> (Server, ReslimModel, Normalizer, DownscalingDataset) {
+    let (model, norm, ds) = setup();
+    let (ref_model, ref_norm, ref_ds) = setup();
+    let server =
+        Server::start(model, norm, vec![Region { name: "conus".into(), dataset: ds }], cfg);
+    (server, ref_model, ref_norm, ref_ds)
+}
+
+/// Tests pin an explicit plan (here: no faults) so a canned
+/// `ORBIT2_SERVE_FAULT_PLAN` in the environment cannot perturb them.
+fn quiet(cfg: ServerConfig) -> ServerConfig {
+    ServerConfig { fault_plan: Some(FaultPlan::none()), ..cfg }
+}
+
+/// Wait for the server's inflight gauge to hit zero — the "no leaked
+/// permits" half of every resilience guarantee.
+fn await_idle(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.inflight() != 0 {
+        assert!(Instant::now() < deadline, "inflight never returned to zero");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Admission checkpoint: a deadline that has already passed (deadline_ms
+/// of 0) is rejected before any tensor is resolved, with the typed error
+/// and the `deadline_expired` counter.
+#[test]
+fn admission_rejects_already_expired_deadlines() {
+    let (server, _, _, _) = start(quiet(ServerConfig::default()));
+    let req = ServeRequest::region(1, "conus", 0).with_deadline_ms(0);
+    let err = server.submit(req).wait().unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 0 });
+    assert_eq!(err.kind(), "deadline_exceeded");
+    let stats = server.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.admitted, 0, "expired requests never count as admitted");
+    assert_eq!(server.inflight(), 0);
+}
+
+/// `default_deadline_ms` applies to requests that carry no deadline of
+/// their own, and a per-request deadline overrides it in both directions.
+#[test]
+fn server_default_deadline_applies_unless_overridden() {
+    let cfg = quiet(ServerConfig { default_deadline_ms: Some(0), ..ServerConfig::default() });
+    let (server, _, _, _) = start(cfg);
+    // Unlabelled request inherits the expired default.
+    let err = server.submit(ServeRequest::region(1, "conus", 0)).wait().unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 0 });
+    // An explicit generous deadline overrides the default and completes.
+    let resp = server
+        .submit(ServeRequest::region(2, "conus", 0).with_deadline_ms(60_000))
+        .wait()
+        .expect("explicit deadline overrides the expired default");
+    assert_eq!(resp.id, 2);
+    await_idle(&server);
+}
+
+/// Dispatch checkpoint: a queued tile whose deadline expires while the
+/// microbatch window is still open is shed before any forward runs — the
+/// request fails with `deadline_exceeded` and no batch executes.
+#[test]
+fn dispatch_sheds_expired_queued_tiles_before_any_forward() {
+    let cfg = quiet(ServerConfig {
+        // A window much longer than the deadline keeps the tile queued
+        // until the deadline passes, forcing the shed path.
+        window_micros: 100_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let (server, _, _, _) = start(cfg);
+    let handle = server.submit(ServeRequest::region(1, "conus", 0).with_deadline_ms(20));
+    let err = handle.wait().unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 20 });
+    let stats = server.stats();
+    assert_eq!(stats.shed_jobs, 1, "the queued tile must be shed, not executed");
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.batches, 0, "no forward may run for a shed request");
+    assert_eq!(stats.completed, 0);
+    await_idle(&server);
+}
+
+/// Stitch checkpoint: a straggling forward that finishes after the
+/// deadline is not stitched or cached — the request still terminates with
+/// `deadline_exceeded`, and the counter attributes it.
+#[test]
+fn stitch_checkpoint_fails_results_the_client_stopped_waiting_for() {
+    let cfg = ServerConfig {
+        // The tile dispatches promptly, then the injected straggler makes
+        // the forward outlive the 30 ms deadline.
+        fault_plan: Some(FaultPlan::none().with_event(0, 0, FaultKind::Straggler(120))),
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let (server, _, _, _) = start(cfg);
+    let handle = server.submit(ServeRequest::region(1, "conus", 0).with_deadline_ms(30));
+    let err = handle.wait().unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded { deadline_ms: 30 });
+    let stats = server.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.shed_jobs, 0, "the tile dispatched before expiring");
+    assert_eq!(stats.batches, 1, "the forward ran; only the stitch was refused");
+    assert_eq!(stats.completed, 0);
+    // The refused result must not have been cached: the same request
+    // (without a deadline) recomputes.
+    let resp = server.submit(ServeRequest::region(2, "conus", 0)).wait().unwrap();
+    assert!(!resp.cached, "a deadline-refused result must never enter the cache");
+    await_idle(&server);
+}
+
+/// Panic quarantine with a persistent fault: the culprit tile fails its
+/// isolated retry and only its request dies (typed `internal`), while the
+/// cobatched innocent requests recover bitwise-identical results.
+#[test]
+fn quarantine_isolates_the_culprit_from_cobatched_innocents() {
+    let cfg = ServerConfig {
+        // Job 1 of the first executed batch panics, and stays dead on
+        // retry (persistent): requests 0 and 2 are innocent bystanders.
+        fault_plan: Some(
+            FaultPlan::none().with_event(0, 1, FaultKind::Panic).with_persistent(),
+        ),
+        max_batch: 3,
+        window_micros: 300_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let session = model.session();
+    let inputs: Vec<Tensor> = (0..3).map(|i| ds.sample(i).input).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            server.submit(ServeRequest::raw(i as u64, input.shape().to_vec(), input.data().to_vec()))
+        })
+        .collect();
+    let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+
+    // The culprit (job 1) fails alone, with a server-attributed error.
+    let err = results[1].clone().unwrap_err();
+    match &err {
+        ServeError::Internal { reason } => {
+            assert!(reason.contains("injected fault"), "reason must carry the panic: {reason}");
+        }
+        other => panic!("culprit must fail with internal, got {other:?}"),
+    }
+    assert_eq!(err.kind(), "internal");
+
+    // The innocents complete with exactly the payload a clean run gives.
+    for (i, result) in results.iter().enumerate() {
+        if i == 1 {
+            continue;
+        }
+        let resp = result.as_ref().expect("innocent cobatched request must succeed");
+        let reference = downscale_with(&model, &session, &norm, &inputs[i], None, 1.0).unwrap();
+        assert_eq!(resp.data, reference.data(), "request {i} must be bitwise-correct");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.retried_jobs, 2, "both innocents recovered via isolated retry");
+    assert_eq!(stats.quarantined_jobs, 1, "exactly the culprit was quarantined");
+    assert_eq!(stats.completed, 2);
+    await_idle(&server);
+}
+
+/// The same injected panic with the transient default: the isolated retry
+/// runs clean, so every request in the poisoned batch recovers.
+#[test]
+fn transient_faults_recover_every_request_via_retry() {
+    let cfg = ServerConfig {
+        fault_plan: Some(FaultPlan::none().with_event(0, 1, FaultKind::Panic)),
+        max_batch: 3,
+        window_micros: 300_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (server, model, norm, ds) = start(cfg);
+    let session = model.session();
+    let inputs: Vec<Tensor> = (0..3).map(|i| ds.sample(i).input).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            server.submit(ServeRequest::raw(i as u64, input.shape().to_vec(), input.data().to_vec()))
+        })
+        .collect();
+    for (i, handle) in handles.iter().enumerate() {
+        let resp = handle.wait().expect("transient fault must recover every request");
+        let reference = downscale_with(&model, &session, &norm, &inputs[i], None, 1.0).unwrap();
+        assert_eq!(resp.data, reference.data(), "request {i} must be bitwise-correct");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.retried_jobs, 3, "every job of the poisoned batch retried clean");
+    assert_eq!(stats.quarantined_jobs, 0);
+    assert_eq!(stats.completed, 3);
+    await_idle(&server);
+}
+
+/// A clean drain: in-flight work finishes, admission is closed, and the
+/// drain reports success.
+#[test]
+fn drain_finishes_inflight_work_then_refuses_new_requests() {
+    let (server, _, _, _) = start(quiet(ServerConfig { cache_capacity: 0, ..ServerConfig::default() }));
+    let handles: Vec<_> =
+        (0..3).map(|i| server.submit(ServeRequest::region(i, "conus", i as usize))).collect();
+    assert!(server.drain(Duration::from_secs(30)), "idle-bound drain must finish cleanly");
+    for handle in &handles {
+        handle.wait().expect("work admitted before the drain must complete");
+    }
+    assert!(server.is_shutting_down());
+    let err = server.submit(ServeRequest::region(9, "conus", 0)).wait().unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+    assert_eq!(server.inflight(), 0);
+}
+
+/// A drain that times out: work still queued when the timeout lapses is
+/// completed with `shutting_down` rather than left hanging.
+#[test]
+fn timed_out_drain_completes_stragglers_with_shutting_down() {
+    let cfg = quiet(ServerConfig {
+        // A long microbatch window keeps the tile queued past the drain
+        // timeout, so it must be failed, not executed.
+        window_micros: 500_000,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let (server, _, _, _) = start(cfg);
+    let handle = server.submit(ServeRequest::region(1, "conus", 0));
+    assert!(!server.drain(Duration::from_millis(5)), "drain must report the timeout");
+    assert_eq!(handle.wait().unwrap_err(), ServeError::ShuttingDown);
+    await_idle(&server);
+}
+
+/// Regression: a submit racing a drain/shutdown must never strand its
+/// request. The admission RUNNING check can pass just before `drain`
+/// observes inflight == 0 and stops the batcher; without the re-check
+/// under the queue lock, the tiles enqueued after the batcher exits
+/// would never reach a terminal state and the handle would hang forever.
+/// Run the race repeatedly with a tiny stagger sweep so the interleaving
+/// actually lands in the window on at least some iterations.
+#[test]
+fn submit_racing_a_drain_never_strands_a_request() {
+    for round in 0..8u64 {
+        let cfg = quiet(ServerConfig {
+            window_micros: 50,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let (server, _, _, _) = start(cfg);
+        let server = std::sync::Arc::new(server);
+        let submitter = {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || {
+                (0..6)
+                    .map(|i| server.submit(ServeRequest::region(i, "conus", i as usize)))
+                    .collect::<Vec<_>>()
+            })
+        };
+        // Sweep the stagger so different rounds hit different points of
+        // the admission path (before the state check, between check and
+        // enqueue, after enqueue).
+        std::thread::sleep(Duration::from_micros(round * 300));
+        server.drain(Duration::from_secs(10));
+        let handles = submitter.join().expect("submitter thread must not die");
+        for handle in handles {
+            let outcome = handle
+                .wait_timeout(Duration::from_secs(10))
+                .expect("request submitted across a drain must still terminate");
+            match outcome {
+                Ok(_) | Err(ServeError::ShuttingDown) => {}
+                Err(other) => panic!("unexpected terminal error racing a drain: {other:?}"),
+            }
+        }
+        await_idle(&server);
+    }
+}
+
+/// The health snapshot load balancers poll: `ok` while running, gauges
+/// live, `draining` once admission closes.
+#[test]
+fn health_reports_status_and_gauges() {
+    let (server, _, _, _) = start(quiet(ServerConfig::default()));
+    let healthy = server.health();
+    assert!(healthy.is_ok());
+    assert_eq!(healthy.status, "ok");
+    assert_eq!(healthy.inflight, 0);
+    assert_eq!(healthy.queue_depth, 0);
+    server.drain(Duration::from_secs(5));
+    let draining = server.health();
+    assert!(!draining.is_ok());
+    assert_eq!(draining.status, "draining");
+    assert_eq!(draining.inflight, 0);
+}

@@ -2,13 +2,15 @@
 //! error line over TCP, and well-formed requests must round-trip,
 //! pipeline, and hit the cache exactly as through the library API.
 
+use orbit2::fault::{FaultKind, FaultPlan};
 use orbit2::serving::ServeRequest;
 use orbit2_model::{SessionActivation, SessionPrecision};
 use orbit2_climate::{DownscalingDataset, LatLonGrid, Normalizer, VariableSet};
 use orbit2_model::{ModelConfig, ReslimModel};
-use orbit2_serve::{Client, Region, Server, ServerConfig, ServerReply};
+use orbit2_serve::{Client, Region, RetryPolicy, Server, ServerConfig, ServerReply};
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn spawn_server(cfg: ServerConfig) -> (Arc<Server>, std::net::SocketAddr) {
     let ds =
@@ -180,6 +182,141 @@ fn unknown_command_is_bad_request_and_connection_survives() {
     match client.roundtrip(&ServeRequest::region(9, "conus", 0)).unwrap() {
         ServerReply::Response(resp) => assert_eq!(resp.id, 9),
         other => panic!("connection should survive an unknown cmd, got {other:?}"),
+    }
+}
+
+/// `{"cmd":"health"}` answers in FIFO order with the status and gauges a
+/// load balancer needs; the status flips to `draining` once admission
+/// closes, observable over an already-open connection.
+#[test]
+fn health_command_reports_ok_then_draining() {
+    let (server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let healthy = client.health().unwrap();
+    assert!(healthy.is_ok());
+    assert_eq!(healthy.status, "ok");
+    assert_eq!(healthy.inflight, 0);
+    assert_eq!(healthy.queue_depth, 0);
+    // Health rides the FIFO: pipeline a request, then the probe; the
+    // probe's reply comes second.
+    client.send(&ServeRequest::region(1, "conus", 0)).unwrap();
+    client.send_line(r#"{"cmd":"health"}"#).unwrap();
+    match client.recv().unwrap() {
+        ServerReply::Response(resp) => assert_eq!(resp.id, 1),
+        other => panic!("expected the pipelined response first, got {other:?}"),
+    }
+    let pipelined: orbit2::serving::ServeHealth =
+        serde_json::from_str(client.recv_line().unwrap().trim_end()).unwrap();
+    assert!(pipelined.is_ok());
+    server.drain(Duration::from_secs(10));
+    let draining = client.health().unwrap();
+    assert_eq!(draining.status, "draining");
+    assert!(!draining.is_ok());
+}
+
+/// Graceful drain over TCP: replies for requests submitted before the
+/// drain flush on the open connection (each a response or a typed
+/// `shutting_down` error), and connections arriving after the drain are
+/// closed instead of served.
+#[test]
+fn drain_flushes_open_connections_and_refuses_new_ones() {
+    let (server, addr) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    // A health roundtrip first: proves the accept loop picked this
+    // connection up *before* the drain (otherwise the pipelined lines
+    // race the accept loop's drain check).
+    assert!(client.health().unwrap().is_ok());
+    for id in 1..=3u64 {
+        client.send(&ServeRequest::region(id, "conus", id as usize)).unwrap();
+    }
+    let drained = server.drain(Duration::from_secs(30));
+    assert!(drained, "drain with no stuck work must finish cleanly");
+    // Every pipelined request gets exactly one reply, in order: either it
+    // made it in before admission closed (a response) or it did not (a
+    // typed shutting_down error). Nothing hangs, nothing is dropped.
+    for want_id in 1..=3u64 {
+        match client.recv().expect("drain must flush every pending reply") {
+            ServerReply::Response(resp) => assert_eq!(resp.id, want_id),
+            ServerReply::Error { id, error } => {
+                assert_eq!(id, want_id);
+                assert_eq!(error.kind, "shutting_down");
+            }
+        }
+    }
+    // A fresh connection after the drain is closed, not served.
+    let mut late = Client::connect(addr).expect("TCP connect itself may still succeed");
+    assert!(
+        late.health().is_err(),
+        "a drained server must close new connections instead of answering"
+    );
+}
+
+/// `submit_with_retry` rides out transient rejections: against a
+/// zero-capacity queue it retries `queue_full` the configured number of
+/// times and surfaces the final typed error; against a healthy server it
+/// returns the response on the first attempt.
+#[test]
+fn submit_with_retry_bounds_attempts_and_passes_successes_through() {
+    let (_server, addr) = spawn_server(ServerConfig {
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_micros(200),
+        max_delay: Duration::from_millis(2),
+        seed: 9,
+    };
+    let reply = client
+        .submit_with_retry(&ServeRequest::region(1, "conus", 0), &policy)
+        .expect("retry loop returns the last reply, not an IO error");
+    match reply {
+        ServerReply::Error { id, error } => {
+            assert_eq!(id, 1);
+            assert_eq!(error.kind, "queue_full", "exhausted retries surface the typed error");
+        }
+        other => panic!("expected queue_full after bounded retries, got {other:?}"),
+    }
+
+    let (_healthy, addr2) = spawn_server(ServerConfig::default());
+    let mut client2 = Client::connect(addr2).unwrap();
+    match client2.submit_with_retry(&ServeRequest::region(2, "conus", 0), &policy).unwrap() {
+        ServerReply::Response(resp) => assert_eq!(resp.id, 2),
+        other => panic!("healthy server must answer on the first attempt, got {other:?}"),
+    }
+    // Non-retryable errors return immediately, not after backoff.
+    match client2.submit_with_retry(&ServeRequest::region(3, "atlantis", 0), &policy).unwrap() {
+        ServerReply::Error { error, .. } => assert_eq!(error.kind, "unknown_region"),
+        other => panic!("expected unknown_region, got {other:?}"),
+    }
+}
+
+/// A server-side panic surfaces over TCP as the `internal` kind — never
+/// as `bad_request`, which is reserved for client mistakes.
+#[test]
+fn server_side_panic_is_internal_over_the_wire() {
+    let (_server, addr) = spawn_server(ServerConfig {
+        fault_plan: Some(
+            FaultPlan::none().with_event(0, 0, FaultKind::Panic).with_persistent(),
+        ),
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    match client.roundtrip(&ServeRequest::region(70, "conus", 0)).unwrap() {
+        ServerReply::Error { id, error } => {
+            assert_eq!(id, 70);
+            assert_eq!(error.kind, "internal", "server faults must be blamed on the server");
+            assert!(error.message.contains("internal server error"));
+        }
+        other => panic!("expected internal, got {other:?}"),
+    }
+    // The connection survives a quarantined request, and the next batch
+    // (ordinal 1) is clean.
+    match client.roundtrip(&ServeRequest::region(71, "conus", 1)).unwrap() {
+        ServerReply::Response(resp) => assert_eq!(resp.id, 71),
+        other => panic!("server must keep serving after a quarantine, got {other:?}"),
     }
 }
 

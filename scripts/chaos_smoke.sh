@@ -12,10 +12,13 @@ set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
 # The fault-injection integration tests plus the trainer/checkpoint/fault
-# unit suites that back them.
+# unit suites that back them, and the serving-side resilience + chaos
+# suites (deadlines, panic quarantine, drain).
 run_suite() {
     cargo test --release --test failure_injection "$@"
     cargo test --release -p orbit2 --lib "$@" -- trainer:: checkpoint:: fault::
+    cargo test --release -p orbit2-serve --test resilience "$@"
+    cargo test --release -p orbit2-serve --test chaos_serving "$@"
 }
 
 echo "== chaos smoke: SIMD enabled =="
@@ -32,5 +35,14 @@ ORBIT2_DISABLE_SIMD=1 run_suite "$@"
 echo "== chaos smoke: ORBIT2_FAULT_PLAN env round-trip =="
 ORBIT2_FAULT_PLAN="seed=42,panic=0.02,nan=0.02,straggle=0.05,straggle_ms=5" \
     cargo test --release -p orbit2 --lib "$@" -- fault::
+
+# The serving twin: a canned ORBIT2_SERVE_FAULT_PLAN drives the env-armed
+# injection path through a default-resolution server (fault_plan: None).
+# Only the default-config chaos test runs under the env plan — the other
+# resilience tests pin explicit plans precisely so canned chaos like this
+# cannot perturb them.
+echo "== chaos smoke: ORBIT2_SERVE_FAULT_PLAN env round-trip =="
+ORBIT2_SERVE_FAULT_PLAN="seed=42,panic=0.05,straggle=0.05,straggle_ms=3" \
+    cargo test --release -p orbit2-serve --test chaos_serving "$@" -- default_config
 
 echo "chaos smoke passed in both SIMD modes"
